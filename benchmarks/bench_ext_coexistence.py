@@ -1,0 +1,30 @@
+"""E-COEXIST — incremental PMSB(e) deployment (§V-B, unevaluated).
+
+The paper argues PMSB(e) "can coexist with other ECN-based transports
+like DCTCP".  We upgrade *only* the victim sender: the switch keeps
+plain per-port marking and the eight competing senders keep stock DCTCP.
+The upgraded sender should reclaim its fair share; nobody else changes.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.extensions import pmsbe_coexistence
+
+
+def test_incremental_deployment(benchmark):
+    def experiment():
+        return (pmsbe_coexistence(victim_upgraded=False, duration=0.03),
+                pmsbe_coexistence(victim_upgraded=True, duration=0.03))
+
+    baseline, upgraded = run_once(benchmark, experiment)
+    heading("E-COEXIST — PMSB(e) on one sender, stock DCTCP on the rest")
+    print(f"{'configuration':28s} {'victim':>8s} {'others':>8s} "
+          f"{'fair err':>9s}")
+    print(f"{'all stock DCTCP (baseline)':28s} {baseline.victim_gbps:7.2f}G "
+          f"{baseline.others_gbps:7.2f}G {baseline.fair_share_error:9.2f}")
+    print(f"{'victim upgraded to PMSB(e)':28s} {upgraded.victim_gbps:7.2f}G "
+          f"{upgraded.others_gbps:7.2f}G {upgraded.fair_share_error:9.2f}")
+    print(f"marks the upgraded sender ignored: "
+          f"{upgraded.victim_filtered_marks}")
+    assert baseline.fair_share_error > 0.3
+    assert upgraded.fair_share_error < 0.1

@@ -1,0 +1,51 @@
+"""E-BURST — micro-burst absorption under shared-buffer policies.
+
+Context for the paper's micro-burst references ([13] Shan et al., [14]):
+how the switch shares buffer across ports decides whether an incast
+burst survives.  A 32-way incast hits port B while port A's long-lived
+flows may be hogging memory:
+
+- *complete sharing* lets the hog starve the burst (worst tail FCT);
+- a *static split* protects the burst but wastes memory when the hog is
+  absent;
+- *dynamic threshold* (Choudhury–Hahne, α=2) adapts: near-static tail
+  latency under the hog, fewer drops than static without it.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.extensions import microburst_absorption
+
+
+def test_microburst_buffer_policies(benchmark):
+    def experiment():
+        rows = []
+        for hog in (True, False):
+            for policy in ("static", "shared", "dt"):
+                rows.append(microburst_absorption(
+                    policy=policy, hog_active=hog, dt_alpha=2.0,
+                    duration=0.04))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    heading("E-BURST — 32-way incast vs buffer-sharing policy "
+            "(200-packet switch memory)")
+    print(f"{'hog':>5s} {'policy':>8s} {'drops':>6s} {'completed':>10s} "
+          f"{'burst p99':>10s}")
+    for row in rows:
+        p99 = (f"{row.burst_fct_p99 * 1e3:7.2f}ms"
+               if row.burst_fct_p99 else "      --")
+        print(f"{str(row.hog_active):>5s} {row.policy:>8s} "
+              f"{row.burst_drops:6d} {row.burst_completed:7d}/32 {p99}")
+
+    by_key = {(r.hog_active, r.policy): r for r in rows}
+    # Under a hog, complete sharing has the worst burst tail.
+    assert (by_key[(True, "shared")].burst_fct_p99
+            > by_key[(True, "static")].burst_fct_p99)
+    assert (by_key[(True, "dt")].burst_fct_p99
+            <= by_key[(True, "shared")].burst_fct_p99)
+    # Without the hog, DT wastes less buffer than the static split.
+    assert (by_key[(False, "dt")].burst_drops
+            < by_key[(False, "static")].burst_drops)
+    # Every burst flow eventually completes under every policy.
+    assert all(r.burst_completed == r.burst_fanin for r in rows)

@@ -1,0 +1,25 @@
+"""E-POOL — the paper's per-service-pool conjecture (§II-B, unevaluated).
+
+"We believe per service pool will also violate weighted fair sharing,
+because queues belonging to different ports may interfere with each
+other."  Two ports with disjoint links share one marking pool; port B's
+eight flows fill the pool and port A's lone flow — whose own link is
+otherwise idle — gets marked and throttled.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.extensions import service_pool_victim
+
+
+def test_service_pool_cross_port_victim(benchmark):
+    result = run_once(benchmark, lambda: service_pool_victim(duration=0.03))
+    heading("E-POOL — shared-pool marking: cross-port victim "
+            "(validating the paper's §II-B conjecture)")
+    print(f"port A (1 flow, own idle link): {result.port_a_gbps:5.2f} Gbps "
+          f"({result.port_a_utilization * 100:.0f}% of its link)")
+    print(f"port B (8 flows):               {result.port_b_gbps:5.2f} Gbps")
+    print(f"pool-marked packets:            {result.pool_marked}")
+    # The conjecture: port A cannot fill its own uncontended link.
+    assert result.port_a_utilization < 0.5
+    assert result.port_b_gbps > 8.0

@@ -1,0 +1,40 @@
+"""E-TRANSPORT — PMSB protects victims regardless of the transport.
+
+The paper evaluates PMSB with DCTCP only, but its intro frames ECN
+reaction generically ("congestion window (DCTCP, D2TCP) or transmission
+rate (DCQCN)").  This bench runs the 1:8 victim scenario over both a
+window-based (DCTCP) and a rate-based (DCQCN) transport, under per-port
+marking and under PMSB: selective blindness helps both, because the
+filter acts on the *mark*, before any transport-specific reaction.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.extensions import transport_agnostic_victim
+
+
+def test_transport_agnostic(benchmark):
+    def experiment():
+        rows = []
+        for transport in ("dctcp", "dcqcn"):
+            for marker in ("per-port", "pmsb"):
+                rows.append(transport_agnostic_victim(
+                    transport=transport, marker=marker, duration=0.03))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    heading("E-TRANSPORT — 1:8 victim scenario across transports")
+    print(f"{'transport':>10s} {'marker':>9s} {'victim':>8s} {'others':>8s} "
+          f"{'fair err':>9s}")
+    for row in rows:
+        print(f"{row.transport:>10s} {row.marker:>9s} "
+              f"{row.victim_gbps:7.2f}G {row.others_gbps:7.2f}G "
+              f"{row.fair_share_error:9.2f}")
+
+    by_key = {(r.transport, r.marker): r for r in rows}
+    for transport in ("dctcp", "dcqcn"):
+        baseline = by_key[(transport, "per-port")]
+        pmsb = by_key[(transport, "pmsb")]
+        # PMSB gives the victim a much larger share under both reactions.
+        assert pmsb.victim_gbps > 2.0 * baseline.victim_gbps
+        assert pmsb.fair_share_error < baseline.fair_share_error

@@ -1,0 +1,40 @@
+"""E-WORKLOAD — the FCT comparison under the web-search trace.
+
+Robustness check: the paper evaluates with its 60/30/10 synthetic mix;
+the classic web-search distribution (DCTCP paper, reused by MQ-ECN/TCN)
+has a different small-flow mass and a heavier body.  The headline —
+PMSB below TCN on small-flow FCT, overall comparable — should be a
+property of the marking schemes, not of one workload.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.largescale import run_fct_point
+from repro.experiments.scale import BENCH
+from repro.metrics.fct import SizeClass
+from repro.workloads.distributions import WEB_SEARCH
+
+
+def test_websearch_workload_point(benchmark):
+    def experiment():
+        distribution = WEB_SEARCH.scaled(BENCH.size_scale)
+        return [
+            run_fct_point(name, "dwrr", 0.5, BENCH, seed=1,
+                          size_distribution=distribution,
+                          size_scale=BENCH.size_scale)
+            for name in ("pmsb", "pmsb-e", "tcn")
+        ]
+
+    rows = run_once(benchmark, experiment)
+    heading("E-WORKLOAD — web-search trace, DWRR, load 0.5")
+    print(f"{'scheme':10s} {'overall':>9s} {'sm avg':>9s} {'sm p99':>9s} "
+          f"{'completed':>10s}")
+    for row in rows:
+        small = row.small
+        print(f"{row.scheme:10s} {row.overall.mean * 1e3:8.3f}m "
+              f"{small.mean * 1e3 if small else -1:8.3f}m "
+              f"{small.p99 * 1e3 if small else -1:8.3f}m "
+              f"{row.completed:7d}/{row.n_flows}")
+    by_scheme = {row.scheme: row for row in rows}
+    assert (by_scheme["PMSB"].stat(SizeClass.SMALL, "mean")
+            < by_scheme["TCN"].stat(SizeClass.SMALL, "mean"))

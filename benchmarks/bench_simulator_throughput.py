@@ -1,0 +1,54 @@
+"""Engineering benchmark — simulator event throughput.
+
+Not a paper artifact: measures how many packet-level events per second
+the substrate processes, which bounds what the scale profiles can
+afford.  Two workloads: the raw event loop (pure engine overhead) and a
+full 1:8 PMSB incast (engine + port + scheduler + marker + transport).
+"""
+
+from conftest import heading
+
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.core.pmsb import PmsbMarker
+from repro.net.topology import single_bottleneck
+from repro.sim.engine import Simulator
+from repro.transport.endpoints import open_flow
+from repro.transport.flow import Flow
+
+
+def test_raw_event_loop(benchmark):
+    def run():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1e-6, chain, remaining - 1)
+
+        # 64 independent self-rescheduling chains of 2000 events each.
+        for _ in range(64):
+            chain(2000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    heading("Engine throughput — raw callback chains")
+    print(f"{events} events per run")
+    assert events == 64 * 2000
+
+
+def test_full_stack_incast(benchmark):
+    def run():
+        sim = Simulator()
+        network = single_bottleneck(
+            sim, 9, lambda: DwrrScheduler(2), lambda: PmsbMarker(16))
+        for i in range(9):
+            open_flow(network, Flow(src=i, dst=9,
+                                    service=0 if i == 0 else 1))
+        sim.run(until=0.004)
+        return sim.events_processed
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    heading("Full-stack throughput — 1:8 PMSB incast, 4 ms simulated")
+    print(f"{events} events per run "
+          f"(~{events / 0.004 / 1e6:.1f}M events per simulated second)")
+    assert events > 10_000

@@ -1,0 +1,53 @@
+"""T1 / Table I — capability comparison of the four schemes.
+
+The matrix is asserted against structural properties of the
+implementations (not just declared): MQ-ECN refuses non-round
+schedulers, TCN cannot be built at the enqueue point, and only PMSB(e)
+leaves switches untouched.
+"""
+
+from conftest import heading, run_once
+
+import pytest
+
+from repro.core.capabilities import CAPABILITIES, capability_table
+from repro.core.pmsb import PmsbMarker
+from repro.ecn.base import MarkPoint
+from repro.ecn.mq_ecn import MqEcnMarker
+from repro.ecn.tcn import TcnMarker
+from repro.net.link import Link
+from repro.net.port import Port
+from repro.scheduling.wfq import WfqScheduler
+from repro.sim.engine import Simulator
+
+
+class _Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def _verify_matrix():
+    sim = Simulator()
+
+    def wfq_port(marker):
+        return Port(sim, Link(sim, 10e9, 1e-6, _Sink()), WfqScheduler(2),
+                    marker)
+
+    # MQ-ECN: no generic schedulers.
+    with pytest.raises(ValueError):
+        wfq_port(MqEcnMarker(rtt=20e-6))
+    # PMSB: generic schedulers fine.
+    wfq_port(PmsbMarker(12))
+    # TCN: no early notification.
+    assert MarkPoint.ENQUEUE not in TcnMarker(10e-6).supported_points
+    return capability_table()
+
+
+def test_table1_capabilities(benchmark):
+    table = run_once(benchmark, _verify_matrix)
+    heading("Table I — scheme capabilities (verified against code)")
+    print(table)
+    assert CAPABILITIES["PMSB(e)"].no_switch_modification
+    assert not CAPABILITIES["MQ-ECN"].generic_scheduler

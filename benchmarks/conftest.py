@@ -1,0 +1,24 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every bench runs its experiment exactly once under pytest-benchmark
+(``rounds=1``) — the experiments are deterministic simulations, so there
+is no run-to-run noise worth averaging, and some take tens of seconds.
+The printed tables are the deliverable: they show the same rows/series
+the paper's figures plot.  EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def heading(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

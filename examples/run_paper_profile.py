@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Full-size reproduction runner (the PAPER scale profile).
+
+Runs the complete Figs. 16–27 FCT sweeps at the paper's dimensions —
+48-host 4×4 leaf-spine, unscaled flow sizes, the full load range — and
+writes every row to JSON/CSV as it completes.  This is hours of wall
+time on one core; run it detached:
+
+    nohup python examples/run_paper_profile.py results_paper/ &
+
+The BENCH-profile benchmarks already reproduce the paper's *shape* in
+minutes; this script exists for anyone who wants the full-size numbers.
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments.largescale import (LARGESCALE_SCHEMES,
+                                          run_fct_point)
+from repro.experiments.scale import PAPER
+from repro.metrics.export import rows_to_csv, to_json
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "results_paper"
+    os.makedirs(out_dir, exist_ok=True)
+    rows = []
+    t_start = time.time()
+    for scheduler in ("dwrr", "wfq"):
+        for load in PAPER.loads:
+            for scheme in LARGESCALE_SCHEMES:
+                if scheduler == "wfq" and scheme == "mq-ecn":
+                    continue
+                t0 = time.time()
+                row = run_fct_point(scheme, scheduler, load, PAPER, seed=1)
+                rows.append(row)
+                print(f"[{time.time() - t_start:7.0f}s] {scheduler} "
+                      f"load={load:.1f} {row.scheme:8s} "
+                      f"overall={row.overall.mean * 1e3:7.3f}ms "
+                      f"({row.completed}/{row.n_flows} flows, "
+                      f"{time.time() - t0:.0f}s)", flush=True)
+                # Checkpoint after every point: a long run can be
+                # interrupted without losing completed work.
+                rows_to_csv(rows, os.path.join(out_dir, "fct_sweep.csv"))
+                to_json(rows, os.path.join(out_dir, "fct_sweep.json"))
+    print(f"done in {time.time() - t_start:.0f}s -> {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

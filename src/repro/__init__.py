@@ -1,0 +1,155 @@
+"""PMSB: per-Port ECN Marking with Selective Blindness.
+
+A packet-level reproduction of "Support ECN in Multi-Queue Datacenter
+Networks via per-Port Marking with Selective Blindness" (ICDCS 2018),
+including the complete simulation substrate it runs on: a discrete-event
+network simulator, multi-queue schedulers, all baseline ECN marking
+schemes (per-queue, per-port, service-pool, MQ-ECN, TCN), a DCTCP
+transport, datacenter workloads, and the paper's experiment harness.
+
+Quickstart::
+
+    from repro import (Simulator, single_bottleneck, PmsbMarker,
+                       DwrrScheduler, Flow, open_flow)
+
+    sim = Simulator()
+    net = single_bottleneck(
+        sim, n_senders=9,
+        scheduler_factory=lambda: DwrrScheduler(2),
+        marker_factory=lambda: PmsbMarker(port_threshold_packets=16),
+    )
+    handles = [open_flow(net, Flow(src=i, dst=9, service=0 if i == 0 else 1))
+               for i in range(9)]
+    sim.run(until=0.1)
+"""
+
+from .core import (
+    AcceptAllFilter,
+    CAPABILITIES,
+    EcnFilter,
+    PmsbMarker,
+    RttEcnFilter,
+    SchemeCapabilities,
+    SteadyStateModel,
+    bdp_packets,
+    capability_table,
+    port_threshold_lower_bound,
+    queue_threshold_lower_bound,
+)
+from .ecn import (
+    BufferPool,
+    MarkPoint,
+    Marker,
+    MqEcnMarker,
+    NullMarker,
+    PerPortMarker,
+    PerQueueMarker,
+    RedMarker,
+    ServicePoolMarker,
+    TcnMarker,
+    fractional_thresholds,
+    standard_thresholds,
+)
+from .metrics import (
+    FctCollector,
+    QueueOccupancyTrace,
+    SizeClass,
+    SummaryStats,
+    ThroughputMeter,
+    summarize,
+)
+from .net import (
+    Host,
+    Link,
+    MTU_BYTES,
+    Network,
+    Packet,
+    Port,
+    Switch,
+    leaf_spine,
+    single_bottleneck,
+)
+from .scheduling import (
+    DwrrScheduler,
+    FifoScheduler,
+    Scheduler,
+    SpWfqScheduler,
+    StrictPriorityScheduler,
+    WfqScheduler,
+    WrrScheduler,
+)
+from .sim import Simulator, make_rng
+from .transport import (
+    ClassicEcnSender,
+    DctcpConfig,
+    DctcpReceiver,
+    DctcpSender,
+    Flow,
+    FlowHandle,
+    open_flow,
+    open_flows,
+)
+from .workloads import PAPER_MIX, PoissonFlowGenerator, WEB_SEARCH
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceptAllFilter",
+    "BufferPool",
+    "CAPABILITIES",
+    "ClassicEcnSender",
+    "DctcpConfig",
+    "DctcpReceiver",
+    "DctcpSender",
+    "DwrrScheduler",
+    "EcnFilter",
+    "FctCollector",
+    "FifoScheduler",
+    "Flow",
+    "FlowHandle",
+    "Host",
+    "Link",
+    "MTU_BYTES",
+    "MarkPoint",
+    "Marker",
+    "MqEcnMarker",
+    "Network",
+    "NullMarker",
+    "PAPER_MIX",
+    "Packet",
+    "PerPortMarker",
+    "PerQueueMarker",
+    "PmsbMarker",
+    "PoissonFlowGenerator",
+    "Port",
+    "QueueOccupancyTrace",
+    "RedMarker",
+    "RttEcnFilter",
+    "Scheduler",
+    "SchemeCapabilities",
+    "ServicePoolMarker",
+    "Simulator",
+    "SizeClass",
+    "SpWfqScheduler",
+    "SteadyStateModel",
+    "StrictPriorityScheduler",
+    "SummaryStats",
+    "Switch",
+    "TcnMarker",
+    "ThroughputMeter",
+    "WEB_SEARCH",
+    "WfqScheduler",
+    "WrrScheduler",
+    "bdp_packets",
+    "capability_table",
+    "fractional_thresholds",
+    "leaf_spine",
+    "make_rng",
+    "open_flow",
+    "open_flows",
+    "port_threshold_lower_bound",
+    "queue_threshold_lower_bound",
+    "single_bottleneck",
+    "standard_thresholds",
+    "summarize",
+]

@@ -1,0 +1,337 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    python -m repro list
+    python -m repro fig3                  # per-port victim (Fig. 3)
+    python -m repro fig9 --duration 0.06  # RTT distributions
+    python -m repro sweep --scheduler wfq --loads 0.3 0.5 --json out.json
+    python -m repro table1
+    python -m repro theorem
+    python -m repro pool                  # §II-B service-pool conjecture
+    python -m repro coexist               # §V-B incremental deployment
+
+Each command prints the same rows the corresponding paper figure plots;
+``--json``/``--csv`` additionally export machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import asdict, is_dataclass
+from typing import Any, List, Optional
+
+from .core.capabilities import capability_table
+from .experiments import (ablations, analysis_validation, extensions,
+                          largescale, marking_point, motivation,
+                          static_flows)
+from .experiments.scale import BENCH, PAPER, TINY
+from .metrics.export import rows_to_csv, to_json
+from .metrics.fct import SizeClass
+
+__all__ = ["main"]
+
+PROFILES = {"tiny": TINY, "bench": BENCH, "paper": PAPER}
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def _maybe_export(args, payload: Any) -> None:
+    if getattr(args, "json", None):
+        to_json(payload, args.json)
+        print(f"\n[written {args.json}]")
+    if getattr(args, "csv", None):
+        if isinstance(payload, list) and payload and is_dataclass(payload[0]):
+            rows_to_csv(payload, args.csv)
+            print(f"\n[written {args.csv}]")
+        else:
+            print("\n[--csv supported only for row-list results]",
+                  file=sys.stderr)
+
+
+# -- command implementations -------------------------------------------------
+
+def cmd_fig1(args) -> Any:
+    results = motivation.per_queue_standard_rtt(duration=args.duration)
+    print(f"{'queues':>6s} {'mean':>10s} {'p99':>10s}")
+    for n_queues, stats in sorted(results.items()):
+        print(f"{n_queues:6d} {_us(stats.mean)} {_us(stats.p99)}")
+    return {str(k): asdict(v) for k, v in results.items()}
+
+
+def cmd_fig2(args) -> Any:
+    results = motivation.per_queue_fractional_throughput(
+        duration=args.duration)
+    for threshold, gbps in sorted(results.items()):
+        print(f"K={threshold:4.0f} pkts -> {gbps:5.2f} Gbps")
+    return {str(k): v for k, v in results.items()}
+
+
+def _victim(args, threshold: float, flows: int) -> Any:
+    result = motivation.per_port_victim(threshold, flows,
+                                        duration=args.duration)
+    print(f"per-port K={threshold:.0f}, 1 flow vs {flows} flows:")
+    print(f"  queue 1: {result.queue1_gbps:5.2f} Gbps")
+    print(f"  queue 2: {result.queue2_gbps:5.2f} Gbps")
+    print(f"  fair-share error: {result.fair_share_error:.2f}")
+    return asdict(result)
+
+
+def cmd_fig3(args) -> Any:
+    return _victim(args, 16.0, 8)
+
+
+def cmd_fig6(args) -> Any:
+    return _victim(args, 65.0, 8)
+
+
+def cmd_fig7(args) -> Any:
+    return _victim(args, 65.0, 40)
+
+
+def _trace_pair(traces) -> Any:
+    enq, deq = traces["enqueue"], traces["dequeue"]
+    print(f"  enqueue peak {enq.peak:3d} pkts | dequeue peak {deq.peak:3d} "
+          f"pkts | reduction {100 * (1 - deq.peak / enq.peak):4.1f}%")
+    return {"enqueue_peak": enq.peak, "dequeue_peak": deq.peak}
+
+
+def cmd_fig4(args) -> Any:
+    print("DCTCP marking point (4 flows, 1 Gbps):")
+    return _trace_pair(marking_point.dctcp_enqueue_dequeue())
+
+
+def cmd_fig5(args) -> Any:
+    trace = marking_point.tcn_trace()
+    print(f"TCN (dequeue-only): peak {trace.peak} pkts, "
+          f"steady mean {trace.steady_mean:.1f}")
+    return {"peak": trace.peak}
+
+
+def cmd_fig8(args) -> Any:
+    result = static_flows.weighted_fair_sharing("pmsb",
+                                                duration=args.duration)
+    print(f"PMSB DWRR 1:4 -> q1 {result.queue_gbps[0]:.2f} G, "
+          f"q2 {result.queue_gbps[1]:.2f} G")
+    return result.queue_gbps
+
+
+def cmd_fig9(args) -> Any:
+    results = static_flows.rtt_distribution(duration=args.duration)
+    print(f"{'scheme':18s} {'mean':>10s} {'p99':>10s}")
+    for name, stats in results.items():
+        print(f"{name:18s} {_us(stats.mean)} {_us(stats.p99)}")
+    return {k: asdict(v) for k, v in results.items()}
+
+
+def cmd_fig10(args) -> Any:
+    result = static_flows.weighted_fair_sharing(
+        "pmsb", flows_queue2=100, duration=max(args.duration, 0.03),
+        warmup_fraction=0.5, stagger=5e-3)
+    print(f"PMSB DWRR 1:100 -> q1 {result.queue_gbps[0]:.2f} G, "
+          f"q2 {result.queue_gbps[1]:.2f} G")
+    return result.queue_gbps
+
+
+def cmd_fig11(args) -> Any:
+    print("PMSB marking point (4 flows, 1 Gbps):")
+    return _trace_pair(marking_point.pmsb_trace())
+
+
+def cmd_fig12(args) -> Any:
+    print("PMSB(e) marking point (4 flows, 1 Gbps):")
+    return _trace_pair(marking_point.pmsbe_trace())
+
+
+def _policy(result) -> Any:
+    for _t0, _t1, label in result.phases:
+        rates = result.phase_gbps[label]
+        cells = "  ".join(f"q{q + 1}={rates[q]:5.2f}G" for q in sorted(rates))
+        print(f"  {label:12s} {cells}")
+    return {label: result.phase_gbps[label]
+            for _t0, _t1, label in result.phases}
+
+
+def cmd_fig13(args) -> Any:
+    print("PMSB over SP+WFQ (expect 5 / 2.5 / 2.5 G settled):")
+    return _policy(static_flows.scheduler_sp_wfq(duration=args.duration))
+
+
+def cmd_fig14(args) -> Any:
+    print("PMSB over SP (expect 5 / 3 / 2 G settled):")
+    return _policy(static_flows.scheduler_sp(duration=args.duration))
+
+
+def cmd_fig15(args) -> Any:
+    print("PMSB over WFQ (expect 10 G -> 5 / 5 G):")
+    return _policy(static_flows.scheduler_wfq(duration=args.duration))
+
+
+def cmd_sweep(args) -> Any:
+    profile = PROFILES[args.profile]
+    if args.loads:
+        from dataclasses import replace
+        profile = replace(profile, loads=tuple(args.loads))
+    rows = largescale.run_fct_sweep(scheduler_name=args.scheduler,
+                                    profile=profile, seed=args.seed)
+    print(f"{'scheme':10s} {'load':>5s} {'overall':>9s} {'sm avg':>9s} "
+          f"{'sm p99':>9s} {'lg avg':>9s}")
+    for row in rows:
+        def fmt(size_class, stat):
+            value = row.stat(size_class, stat)
+            return f"{value * 1e3:8.3f}m" if value is not None else "      --"
+        print(f"{row.scheme:10s} {row.load:5.1f} {fmt(None, 'mean')} "
+              f"{fmt(SizeClass.SMALL, 'mean')} {fmt(SizeClass.SMALL, 'p99')} "
+              f"{fmt(SizeClass.LARGE, 'mean')}")
+    return rows
+
+
+def cmd_table1(args) -> Any:
+    print(capability_table())
+    return None
+
+
+def cmd_theorem(args) -> Any:
+    rows = analysis_validation.threshold_bound_sweep(duration=args.duration)
+    print(f"{'k_i/bound':>9s} {'predicted ok':>13s} {'utilization':>12s}")
+    for row in rows:
+        print(f"{row.queue_threshold / row.bound:9.2f} "
+              f"{str(row.predicted_underflow_free):>13s} "
+              f"{row.utilization:12.3f}")
+    return rows
+
+
+def cmd_ablation(args) -> Any:
+    print("blindness scale sweep (1:8 victim scenario):")
+    rows = ablations.blindness_aggressiveness(duration=args.duration)
+    for row in rows:
+        print(f"  scale {row.parameter:4.2f}: q1 {row.queue1_gbps:5.2f} G, "
+              f"err {row.fair_share_error:4.2f}, "
+              f"RTT p99 {row.rtt_p99_us:4.0f} us")
+    return rows
+
+
+def cmd_pool(args) -> Any:
+    result = extensions.service_pool_victim(duration=args.duration)
+    print(f"shared-pool marking, disjoint links:")
+    print(f"  port A (1 flow):  {result.port_a_gbps:5.2f} G "
+          f"({result.port_a_utilization * 100:.0f}% of its own link)")
+    print(f"  port B (8 flows): {result.port_b_gbps:5.2f} G")
+    return asdict(result)
+
+
+def cmd_burst(args) -> Any:
+    print("32-way micro-burst vs buffer-sharing policy (DT alpha=2):")
+    rows = []
+    for hog in (True, False):
+        for policy in extensions.BUFFER_POLICIES:
+            rows.append(extensions.microburst_absorption(
+                policy=policy, hog_active=hog, dt_alpha=2.0,
+                duration=max(args.duration, 0.04)))
+    for row in rows:
+        p99 = (f"{row.burst_fct_p99 * 1e3:6.2f}ms"
+               if row.burst_fct_p99 else "    n/a")
+        print(f"  hog={str(row.hog_active):5s} {row.policy:7s} "
+              f"drops={row.burst_drops:4d} p99={p99}")
+    return rows
+
+
+def cmd_transports(args) -> Any:
+    print("1:8 victim scenario across transports:")
+    rows = []
+    for transport in ("dctcp", "dcqcn"):
+        for marker in ("per-port", "pmsb"):
+            rows.append(extensions.transport_agnostic_victim(
+                transport=transport, marker=marker,
+                duration=args.duration))
+    for row in rows:
+        print(f"  {row.transport:6s} {row.marker:9s} "
+              f"victim={row.victim_gbps:5.2f}G "
+              f"others={row.others_gbps:5.2f}G "
+              f"err={row.fair_share_error:.2f}")
+    return rows
+
+
+def cmd_coexist(args) -> Any:
+    baseline = extensions.pmsbe_coexistence(False, duration=args.duration)
+    upgraded = extensions.pmsbe_coexistence(True, duration=args.duration)
+    print("incremental PMSB(e) deployment (per-port switch, DCTCP peers):")
+    print(f"  stock DCTCP victim: {baseline.victim_gbps:5.2f} G "
+          f"(err {baseline.fair_share_error:.2f})")
+    print(f"  upgraded victim:    {upgraded.victim_gbps:5.2f} G "
+          f"(err {upgraded.fair_share_error:.2f})")
+    return {"baseline": asdict(baseline), "upgraded": asdict(upgraded)}
+
+
+COMMANDS = {
+    "fig1": (cmd_fig1, "Fig. 1 — per-queue standard threshold RTT"),
+    "fig2": (cmd_fig2, "Fig. 2 — fractional threshold throughput"),
+    "fig3": (cmd_fig3, "Fig. 3 — per-port victim (K=16, 1:8)"),
+    "fig4": (cmd_fig4, "Fig. 4 — DCTCP enqueue vs dequeue marking"),
+    "fig5": (cmd_fig5, "Fig. 5 — TCN marking point"),
+    "fig6": (cmd_fig6, "Fig. 6 — per-port K=65, 1:8"),
+    "fig7": (cmd_fig7, "Fig. 7 — per-port K=65, 1:40"),
+    "fig8": (cmd_fig8, "Fig. 8 — PMSB DWRR fair sharing (1:4)"),
+    "fig9": (cmd_fig9, "Fig. 9 — RTT distribution by scheme"),
+    "fig10": (cmd_fig10, "Fig. 10 — PMSB fair sharing (1:100)"),
+    "fig11": (cmd_fig11, "Fig. 11 — PMSB marking point"),
+    "fig12": (cmd_fig12, "Fig. 12 — PMSB(e) marking point"),
+    "fig13": (cmd_fig13, "Fig. 13 — SP+WFQ policy"),
+    "fig14": (cmd_fig14, "Fig. 14 — SP policy"),
+    "fig15": (cmd_fig15, "Fig. 15 — WFQ policy"),
+    "sweep": (cmd_sweep, "Figs. 16-27 — large-scale FCT sweep"),
+    "table1": (cmd_table1, "Table I — scheme capabilities"),
+    "theorem": (cmd_theorem, "Theorem IV.1 — threshold bound validation"),
+    "ablation": (cmd_ablation, "AB1 — blindness aggressiveness sweep"),
+    "pool": (cmd_pool, "E-POOL — service-pool conjecture (§II-B)"),
+    "coexist": (cmd_coexist, "E-COEXIST — incremental deployment (§V-B)"),
+    "burst": (cmd_burst, "E-BURST — micro-burst vs buffer policy"),
+    "transports": (cmd_transports,
+                   "E-TRANSPORT — PMSB across DCTCP and DCQCN"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PMSB (ICDCS 2018) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--duration", type=float, default=0.03,
+                         help="simulated seconds for static experiments")
+        cmd.add_argument("--json", help="write results as JSON")
+        cmd.add_argument("--csv", help="write row results as CSV")
+        if name == "sweep":
+            cmd.add_argument("--scheduler", choices=("dwrr", "wfq"),
+                             default="dwrr")
+            cmd.add_argument("--profile", choices=tuple(PROFILES),
+                             default="bench")
+            cmd.add_argument("--loads", type=float, nargs="+",
+                             help="override the profile's load points")
+            cmd.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        for name, (_fn, help_text) in COMMANDS.items():
+            print(f"  {name:10s} {help_text}")
+        return 0
+    fn, _help = COMMANDS[args.command]
+    payload = fn(args)
+    if payload is not None:
+        _maybe_export(args, payload)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

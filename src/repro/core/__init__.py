@@ -1,0 +1,43 @@
+"""PMSB — the paper's contribution: Algorithm 1 (switch marker),
+Algorithm 2 (end-host filter), the §IV-D steady-state analysis, and the
+Table I capability matrix."""
+
+from .analysis import (
+    SteadyStateModel,
+    bdp_packets,
+    gamma,
+    oscillation_amplitude,
+    port_threshold_lower_bound,
+    queue_min_length,
+    queue_min_lower_bound,
+    queue_peak_length,
+    queue_threshold_lower_bound,
+    sawtooth_peak,
+    sawtooth_trajectory,
+    worst_case_flow_count,
+)
+from .capabilities import CAPABILITIES, SchemeCapabilities, capability_table
+from .pmsb import PmsbMarker
+from .pmsb_endhost import AcceptAllFilter, EcnFilter, RttEcnFilter
+
+__all__ = [
+    "AcceptAllFilter",
+    "CAPABILITIES",
+    "EcnFilter",
+    "PmsbMarker",
+    "RttEcnFilter",
+    "SchemeCapabilities",
+    "SteadyStateModel",
+    "bdp_packets",
+    "capability_table",
+    "gamma",
+    "oscillation_amplitude",
+    "port_threshold_lower_bound",
+    "queue_min_length",
+    "queue_min_lower_bound",
+    "queue_peak_length",
+    "queue_threshold_lower_bound",
+    "sawtooth_peak",
+    "sawtooth_trajectory",
+    "worst_case_flow_count",
+]

@@ -1,0 +1,78 @@
+"""Table I — capability comparison of multi-queue ECN schemes.
+
+The table is not just documentation: each capability is backed by a
+structural property of the implementation, and the test suite asserts the
+two agree (e.g. ``MqEcnMarker.attach`` raises on a non-round-based
+scheduler ⇔ ``generic_scheduler=False``; ``TcnMarker.supported_points``
+excludes enqueue ⇔ ``early_notification=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["SchemeCapabilities", "CAPABILITIES", "capability_table"]
+
+
+@dataclass(frozen=True)
+class SchemeCapabilities:
+    """One row of Table I."""
+
+    name: str
+    generic_scheduler: bool
+    round_based_scheduler: bool
+    early_notification: bool
+    no_switch_modification: bool
+
+
+CAPABILITIES: Dict[str, SchemeCapabilities] = {
+    "MQ-ECN": SchemeCapabilities(
+        name="MQ-ECN",
+        generic_scheduler=False,        # needs a round concept (WRR/DWRR)
+        round_based_scheduler=True,
+        early_notification=True,        # buffer-based: can mark at enqueue
+        no_switch_modification=False,   # per-port T_round register
+    ),
+    "TCN": SchemeCapabilities(
+        name="TCN",
+        generic_scheduler=True,
+        round_based_scheduler=True,     # generic includes round-based
+        early_notification=False,       # sojourn time only exists at dequeue
+        no_switch_modification=False,   # per-packet timestamping
+    ),
+    "PMSB": SchemeCapabilities(
+        name="PMSB",
+        generic_scheduler=True,
+        round_based_scheduler=True,
+        early_notification=True,
+        no_switch_modification=False,   # marking pipeline change
+    ),
+    "PMSB(e)": SchemeCapabilities(
+        name="PMSB(e)",
+        generic_scheduler=True,
+        round_based_scheduler=True,
+        early_notification=True,
+        no_switch_modification=True,    # sender-side filter only
+    ),
+}
+
+_ROWS = [
+    ("Generic scheduler", "generic_scheduler"),
+    ("Round-based scheduler", "round_based_scheduler"),
+    ("Early notification", "early_notification"),
+    ("No switch modification", "no_switch_modification"),
+]
+
+
+def capability_table() -> str:
+    """Render Table I as aligned text (used by the Table I bench)."""
+    schemes = list(CAPABILITIES.values())
+    header = f"{'':24s}" + "".join(f"{s.name:>10s}" for s in schemes)
+    lines = [header]
+    for label, attr in _ROWS:
+        cells = "".join(
+            f"{'yes' if getattr(s, attr) else 'no':>10s}" for s in schemes
+        )
+        lines.append(f"{label:24s}" + cells)
+    return "\n".join(lines)

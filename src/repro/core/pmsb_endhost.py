@@ -1,0 +1,65 @@
+"""PMSB(e) — the end-host heuristic (Algorithm 2).
+
+The immediately-deployable variant needs no switch changes: switches run
+plain per-port ECN marking, and the *sender* decides whether to honour an
+echoed congestion mark.  Algorithm 2: ignore the mark when there is no
+mark (trivially) or when the flow's current RTT is below
+``rtt_threshold`` — a small RTT means the flow's own path is not queueing,
+so the mark must have been caused by other queues sharing the port and the
+flow is a victim.
+
+The filter is a small strategy object the DCTCP sender consults for every
+ECE-carrying ACK, so it composes with any ECN-based transport
+("it can coexist with other ECN-based transports like DCTCP", §V-B).
+``AcceptAllFilter`` is the null strategy used by every non-PMSB(e)
+transport.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EcnFilter", "AcceptAllFilter", "RttEcnFilter"]
+
+
+class EcnFilter:
+    """Strategy interface: should the sender honour this congestion mark?"""
+
+    def accept_mark(self, current_rtt: float) -> bool:
+        """True when the mark should be counted as congestion feedback."""
+        raise NotImplementedError
+
+
+class AcceptAllFilter(EcnFilter):
+    """Standard DCTCP behaviour: every echoed mark is congestion."""
+
+    def accept_mark(self, current_rtt: float) -> bool:
+        return True
+
+
+class RttEcnFilter(EcnFilter):
+    """Algorithm 2: ignore marks while the measured RTT stays small.
+
+    ``rtt_threshold`` should sit between the flow's uncongested base RTT
+    and the RTT it would see if its *own* queue were building (the paper
+    sets 40 µs in the static experiments and 85.2 µs at large scale).
+    """
+
+    def __init__(self, rtt_threshold: float):
+        if rtt_threshold < 0:
+            raise ValueError("rtt threshold cannot be negative")
+        self.rtt_threshold = rtt_threshold
+        self.marks_seen = 0
+        self.marks_ignored = 0
+
+    @property
+    def ignore_fraction(self) -> float:
+        """Fraction of marks this filter has suppressed."""
+        if self.marks_seen == 0:
+            return 0.0
+        return self.marks_ignored / self.marks_seen
+
+    def accept_mark(self, current_rtt: float) -> bool:
+        self.marks_seen += 1
+        if current_rtt < self.rtt_threshold:
+            self.marks_ignored += 1
+            return False
+        return True

@@ -1,0 +1,29 @@
+"""ECN marking schemes: commodity baselines (per-queue, per-port, pool)
+and research baselines (MQ-ECN, TCN).  The paper's contribution, PMSB,
+lives in :mod:`repro.core`."""
+
+from .base import Marker, MarkPoint, NullMarker
+from .mq_ecn import MqEcnMarker
+from .per_port import PerPortMarker
+from .per_queue import PerQueueMarker, fractional_thresholds, standard_thresholds
+from .phantom import PhantomQueueMarker
+from .red import RedMarker
+from .service_pool import BufferPool, DynamicThresholdPool, ServicePoolMarker
+from .tcn import TcnMarker
+
+__all__ = [
+    "BufferPool",
+    "DynamicThresholdPool",
+    "MarkPoint",
+    "Marker",
+    "MqEcnMarker",
+    "NullMarker",
+    "PerPortMarker",
+    "PerQueueMarker",
+    "PhantomQueueMarker",
+    "RedMarker",
+    "ServicePoolMarker",
+    "TcnMarker",
+    "fractional_thresholds",
+    "standard_thresholds",
+]

@@ -1,0 +1,95 @@
+"""ECN marker interface.
+
+A :class:`Marker` is attached to one switch output port.  The port invokes
+:meth:`Marker.on_enqueue` right after a packet is admitted (occupancy
+counters already include it) and :meth:`Marker.on_dequeue` right before a
+packet starts transmission (occupancy counters still include it).  The
+marker sets the CE codepoint on ECN-capable packets when its scheme's
+condition holds at its configured :class:`MarkPoint`.
+
+The *mark point* matters: marking at dequeue delivers congestion
+information one queueing delay earlier than marking at enqueue (paper
+§II-C, Figs. 4/5 and 11/12).  Schemes whose signal is only observable at
+dequeue (TCN's sojourn time) cannot use the enqueue point at all — their
+``supported_points`` declares that.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, FrozenSet
+
+from ..net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.port import Port
+
+__all__ = ["MarkPoint", "Marker", "NullMarker"]
+
+
+class MarkPoint(enum.Enum):
+    """Where in the port pipeline the CE decision is evaluated."""
+
+    ENQUEUE = "enqueue"
+    DEQUEUE = "dequeue"
+
+
+class Marker:
+    """Base class: evaluates :meth:`decide` at the configured mark point."""
+
+    #: Mark points the scheme can support (subclasses narrow this).
+    supported_points: FrozenSet[MarkPoint] = frozenset(
+        {MarkPoint.ENQUEUE, MarkPoint.DEQUEUE}
+    )
+
+    def __init__(self, mark_point: MarkPoint = MarkPoint.ENQUEUE):
+        if mark_point not in self.supported_points:
+            raise ValueError(
+                f"{type(self).__name__} does not support marking at {mark_point.value}"
+            )
+        self.mark_point = mark_point
+        self.packets_marked = 0
+        self.packets_seen = 0
+
+    def attach(self, port: "Port") -> None:
+        """Called once when the owning port is constructed.
+
+        Schemes that need port context (link capacity, scheduler round
+        notifications) override this; the base implementation does nothing.
+        """
+
+    @property
+    def mark_fraction(self) -> float:
+        """Fraction of ECN-capable packets this marker has marked."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.packets_marked / self.packets_seen
+
+    def on_enqueue(self, port: "Port", queue_index: int, packet: Packet) -> None:
+        """Port hook: packet admitted, counters include it."""
+        if self.mark_point is MarkPoint.ENQUEUE:
+            self._evaluate(port, queue_index, packet)
+
+    def on_dequeue(self, port: "Port", queue_index: int, packet: Packet) -> None:
+        """Port hook: packet leaving, counters still include it."""
+        if self.mark_point is MarkPoint.DEQUEUE:
+            self._evaluate(port, queue_index, packet)
+
+    def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
+        """Return True when the scheme says this packet should carry CE."""
+        raise NotImplementedError
+
+    def _evaluate(self, port: "Port", queue_index: int, packet: Packet) -> None:
+        if not packet.ect:
+            return
+        self.packets_seen += 1
+        if self.decide(port, queue_index, packet):
+            packet.ce = True
+            self.packets_marked += 1
+
+
+class NullMarker(Marker):
+    """Never marks — drop-tail behaviour (host NICs, non-ECN baselines)."""
+
+    def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
+        return False

@@ -1,0 +1,108 @@
+"""RED — Random Early Detection (Floyd & Jacobson 1993).
+
+The paper's §II background: "DCTCP uses a special parameter setting of
+RED ECN marking".  This is the general mechanism: an EWMA of the queue
+length is compared against ``min_th``/``max_th``; between them packets
+are marked with probability rising linearly to ``max_p`` (and the count
+correction spreads marks evenly); above ``max_th`` every packet is
+marked.
+
+:meth:`RedMarker.dctcp_profile` instantiates the degenerate setting the
+paper (and production DCTCP) uses: ``min_th = max_th = K``, weight 1
+(instantaneous queue), ``max_p = 1`` — a step function at K.
+
+RED here watches the *port* occupancy; combine with
+:class:`~repro.ecn.per_queue.PerQueueMarker` semantics by setting
+``per_queue=True`` to watch the packet's own queue instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..net.packet import Packet
+from .base import Marker, MarkPoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.port import Port
+
+__all__ = ["RedMarker"]
+
+
+class RedMarker(Marker):
+    """Classic RED over packet-count occupancy."""
+
+    def __init__(
+        self,
+        min_threshold: float,
+        max_threshold: float,
+        max_probability: float = 0.1,
+        weight: float = 0.002,
+        per_queue: bool = False,
+        mark_point: MarkPoint = MarkPoint.ENQUEUE,
+        seed: int = 0,
+    ):
+        super().__init__(mark_point)
+        if not 0 <= min_threshold <= max_threshold:
+            raise ValueError("need 0 <= min_threshold <= max_threshold")
+        if not 0.0 < max_probability <= 1.0:
+            raise ValueError("max_probability must be in (0, 1]")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+        self.min_threshold = float(min_threshold)
+        self.max_threshold = float(max_threshold)
+        self.max_probability = float(max_probability)
+        #: EWMA gain; 1.0 means "instantaneous queue" (DCTCP setting).
+        self.weight = float(weight)
+        self.per_queue = per_queue
+        self._avg = 0.0
+        #: Packets since the last mark while in the linear region — RED's
+        #: count correction spreads marks uniformly.
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def dctcp_profile(cls, threshold_packets: float,
+                      per_queue: bool = False,
+                      mark_point: MarkPoint = MarkPoint.ENQUEUE) -> "RedMarker":
+        """The paper's setting: instantaneous step marking at K."""
+        return cls(
+            min_threshold=threshold_packets,
+            max_threshold=threshold_packets,
+            max_probability=1.0,
+            weight=1.0,
+            per_queue=per_queue,
+            mark_point=mark_point,
+        )
+
+    @property
+    def average_queue(self) -> float:
+        """Current EWMA of the watched occupancy (packets)."""
+        return self._avg
+
+    def _occupancy(self, port: "Port", queue_index: int) -> int:
+        if self.per_queue:
+            return port.queue_packet_count(queue_index)
+        return port.packet_count
+
+    def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
+        occupancy = self._occupancy(port, queue_index)
+        self._avg += self.weight * (occupancy - self._avg)
+        if self._avg < self.min_threshold:
+            self._count = 0
+            return False
+        if self._avg >= self.max_threshold:
+            self._count = 0
+            return True
+        # Linear region with count correction.
+        span = self.max_threshold - self.min_threshold
+        base_p = self.max_probability * (self._avg - self.min_threshold) / span
+        self._count += 1
+        denominator = 1.0 - self._count * base_p
+        probability = base_p / denominator if denominator > 0 else 1.0
+        if self._rng.random() < probability:
+            self._count = 0
+            return True
+        return False

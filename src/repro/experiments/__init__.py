@@ -1,0 +1,27 @@
+"""Experiment harness: one builder per paper figure/table (see DESIGN.md)."""
+
+from . import ablations, analysis_validation, extensions, largescale
+from . import marking_point, motivation, static_flows
+from .scale import BENCH, PAPER, ScaleProfile, TINY
+from .scenario import (IncastResult, SCHEME_NAMES, SchemeSpec, incast_flows,
+                       make_scheme, run_incast)
+
+__all__ = [
+    "BENCH",
+    "IncastResult",
+    "PAPER",
+    "SCHEME_NAMES",
+    "ScaleProfile",
+    "SchemeSpec",
+    "TINY",
+    "ablations",
+    "analysis_validation",
+    "extensions",
+    "incast_flows",
+    "largescale",
+    "make_scheme",
+    "marking_point",
+    "motivation",
+    "run_incast",
+    "static_flows",
+]

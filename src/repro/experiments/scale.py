@@ -1,0 +1,78 @@
+"""Scale profiles.
+
+The paper's testbed is NS-3 at 10 Gbps × 48 hosts × seconds of simulated
+time.  A pure-Python event loop processes ~10⁵ events/second, so the
+experiment harness exposes three profiles that shrink wall-clock cost
+while preserving the dimensionless quantities that determine the results:
+thresholds in BDP units, load fractions, weight ratios and flow-count
+ratios are identical across profiles.
+
+- ``TINY``  — smoke-test scale: used by the integration test suite.
+- ``BENCH`` — the default for ``pytest benchmarks/``: minutes, not hours.
+- ``PAPER`` — the paper's dimensions (48-host leaf-spine, unscaled flow
+  sizes, full load sweep); hours of wall time, for offline runs.
+
+EXPERIMENTS.md records which profile produced each reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ScaleProfile", "TINY", "BENCH", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Knobs that trade fidelity for wall-clock time."""
+
+    name: str
+    #: Link rate everywhere (bits/s).
+    link_rate: float
+    #: Duration of static throughput/fairness experiments (seconds).
+    static_duration: float
+    #: Leaf-spine shape: (n_leaf, n_spine, hosts_per_leaf).
+    fabric: Tuple[int, int, int]
+    #: Flows generated per load point in the FCT experiments.
+    largescale_flows: int
+    #: Multiplier applied to every flow size in the FCT experiments.
+    size_scale: float
+    #: Load sweep points for the FCT experiments.
+    loads: Tuple[float, ...]
+    #: Hard cap on simulated time per FCT run (seconds).
+    time_cap: float
+
+
+TINY = ScaleProfile(
+    name="tiny",
+    link_rate=10e9,
+    static_duration=0.015,
+    fabric=(2, 2, 3),
+    largescale_flows=30,
+    size_scale=0.05,
+    loads=(0.5,),
+    time_cap=0.5,
+)
+
+BENCH = ScaleProfile(
+    name="bench",
+    link_rate=10e9,
+    static_duration=0.04,
+    fabric=(2, 2, 4),
+    largescale_flows=120,
+    size_scale=0.15,
+    loads=(0.3, 0.5, 0.7),
+    time_cap=2.0,
+)
+
+PAPER = ScaleProfile(
+    name="paper",
+    link_rate=10e9,
+    static_duration=0.5,
+    fabric=(4, 4, 12),
+    largescale_flows=2000,
+    size_scale=1.0,
+    loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    time_cap=30.0,
+)

@@ -1,0 +1,238 @@
+"""Shared experiment plumbing.
+
+Two things live here:
+
+- the **scheme registry**: :func:`make_scheme` builds a
+  :class:`SchemeSpec` (marker factory + transport filter factory) for any
+  of the marking schemes the paper compares, with the paper's §VI
+  parameter conventions baked in as defaults;
+- the **incast runner**: most static experiments are "N senders → one
+  multi-queue bottleneck → one receiver, measure per-queue throughput /
+  RTT"; :func:`run_incast` packages that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.pmsb import PmsbMarker
+from ..core.pmsb_endhost import AcceptAllFilter, EcnFilter, RttEcnFilter
+from ..ecn.base import Marker, MarkPoint, NullMarker
+from ..ecn.mq_ecn import MqEcnMarker
+from ..ecn.per_port import PerPortMarker
+from ..ecn.per_queue import PerQueueMarker, fractional_thresholds, standard_thresholds
+from ..ecn.tcn import TcnMarker
+from ..metrics.queue_trace import QueueOccupancyTrace
+from ..metrics.throughput import ThroughputMeter
+from ..net.packet import MTU_BYTES
+from ..net.topology import Network, single_bottleneck
+from ..scheduling.base import Scheduler
+from ..sim.engine import Simulator
+from ..transport.base import DctcpConfig
+from ..transport.endpoints import FlowHandle, open_flow
+from ..transport.flow import Flow
+
+__all__ = ["SchemeSpec", "make_scheme", "IncastResult", "run_incast",
+           "incast_flows", "SCHEME_NAMES"]
+
+SCHEME_NAMES = (
+    "pmsb",
+    "pmsb-e",
+    "mq-ecn",
+    "tcn",
+    "per-port",
+    "per-queue-standard",
+    "per-queue-fractional",
+    "none",
+)
+
+
+@dataclass
+class SchemeSpec:
+    """A marking scheme: what the switch does + what the sender does."""
+
+    name: str
+    marker_factory: Callable[[], Marker]
+    ecn_filter_factory: Callable[[], EcnFilter] = field(default=AcceptAllFilter)
+
+    def transport_config(self, **overrides) -> DctcpConfig:
+        """A DCTCP config wired with this scheme's sender-side filter."""
+        return DctcpConfig(ecn_filter_factory=self.ecn_filter_factory, **overrides)
+
+
+def _drain_time(packets: float, link_rate: float) -> float:
+    """Time to drain ``packets`` MTUs at ``link_rate`` (TCN/MQ-ECN units)."""
+    return packets * MTU_BYTES * 8.0 / link_rate
+
+
+def make_scheme(
+    name: str,
+    link_rate: float = 10e9,
+    n_queues: int = 2,
+    weights: Optional[Sequence[float]] = None,
+    port_threshold_packets: float = 12.0,
+    standard_threshold_packets: float = 16.0,
+    rtt_threshold: float = 40e-6,
+    tcn_threshold: Optional[float] = None,
+    mark_point: MarkPoint = MarkPoint.ENQUEUE,
+    blindness_scale: float = 1.0,
+) -> SchemeSpec:
+    """Build a :class:`SchemeSpec` by name.
+
+    Defaults follow the paper's static experiments: PMSB/PMSB(e) port
+    threshold 12 packets, PMSB(e) RTT threshold 40 µs, TCN sojourn
+    threshold = drain time of the standard threshold, MQ-ECN/per-queue
+    standard threshold 16 packets.
+    """
+    if weights is None:
+        weights = [1.0] * n_queues
+    if tcn_threshold is None:
+        tcn_threshold = _drain_time(standard_threshold_packets, link_rate)
+    rtt_lambda = _drain_time(standard_threshold_packets, link_rate)
+
+    if name == "pmsb":
+        return SchemeSpec(
+            name="PMSB",
+            marker_factory=lambda: PmsbMarker(
+                port_threshold_packets, mark_point, blindness_scale
+            ),
+        )
+    if name == "pmsb-e":
+        return SchemeSpec(
+            name="PMSB(e)",
+            marker_factory=lambda: PerPortMarker(port_threshold_packets, mark_point),
+            ecn_filter_factory=lambda: RttEcnFilter(rtt_threshold),
+        )
+    if name == "mq-ecn":
+        # K_i = min(quantum_i/T_round, C) × RTT × λ with RTT·λ chosen so an
+        # unconstrained queue gets the standard threshold.
+        return SchemeSpec(
+            name="MQ-ECN",
+            marker_factory=lambda: MqEcnMarker(rtt=rtt_lambda, lam=1.0,
+                                               mark_point=mark_point),
+        )
+    if name == "tcn":
+        return SchemeSpec(
+            name="TCN",
+            marker_factory=lambda: TcnMarker(tcn_threshold),
+        )
+    if name == "per-port":
+        return SchemeSpec(
+            name="Per-Port",
+            marker_factory=lambda: PerPortMarker(port_threshold_packets, mark_point),
+        )
+    if name == "per-queue-standard":
+        return SchemeSpec(
+            name="Per-Queue(std)",
+            marker_factory=lambda: PerQueueMarker(
+                standard_thresholds(n_queues, standard_threshold_packets), mark_point
+            ),
+        )
+    if name == "per-queue-fractional":
+        return SchemeSpec(
+            name="Per-Queue(frac)",
+            marker_factory=lambda: PerQueueMarker(
+                fractional_thresholds(weights, standard_threshold_packets), mark_point
+            ),
+        )
+    if name == "none":
+        return SchemeSpec(name="DropTail", marker_factory=NullMarker)
+    raise ValueError(f"unknown scheme {name!r}; choose from {SCHEME_NAMES}")
+
+
+def incast_flows(flows_per_queue: Sequence[int],
+                 start_times: Optional[Sequence[float]] = None) -> List[Flow]:
+    """Long-lived incast flows: queue ``q`` gets ``flows_per_queue[q]``
+    flows, each from its own sender.  The receiver is the host after the
+    last sender (the :func:`~repro.net.topology.single_bottleneck`
+    convention)."""
+    n_senders = sum(flows_per_queue)
+    receiver = n_senders
+    flows: List[Flow] = []
+    sender = 0
+    for queue_index, count in enumerate(flows_per_queue):
+        for _ in range(count):
+            start = 0.0 if start_times is None else start_times[queue_index]
+            flows.append(Flow(src=sender, dst=receiver, service=queue_index,
+                              start_time=start))
+            sender += 1
+    return flows
+
+
+@dataclass
+class IncastResult:
+    """Everything an incast experiment might want to report."""
+
+    scheme: str
+    duration: float
+    warmup: float
+    queue_gbps: Dict[int, float]
+    network: Network
+    meter: ThroughputMeter
+    handles: List[FlowHandle]
+    trace: Optional[QueueOccupancyTrace] = None
+
+    @property
+    def total_gbps(self) -> float:
+        return sum(self.queue_gbps.values())
+
+    def rtt_samples(self, queue_index: Optional[int] = None) -> List[float]:
+        """All RTT samples, optionally restricted to one queue's flows."""
+        samples: List[float] = []
+        for handle in self.handles:
+            if queue_index is not None and handle.flow.service != queue_index:
+                continue
+            if handle.sender.rtt_samples:
+                samples.extend(handle.sender.rtt_samples)
+        return samples
+
+
+def run_incast(
+    scheme: SchemeSpec,
+    scheduler_factory: Callable[[], Scheduler],
+    flows: Sequence[Flow],
+    duration: float = 0.04,
+    warmup_fraction: float = 1.0 / 3.0,
+    link_rate: float = 10e9,
+    record_rtt: bool = False,
+    trace_occupancy: bool = False,
+    rate_limits: Optional[Dict[int, float]] = None,
+    init_cwnd: float = 16.0,
+    buffer_packets: int = 1000,
+) -> IncastResult:
+    """Run one incast scenario to completion and measure per-queue rates.
+
+    ``rate_limits`` maps flow *src host id* → pacing rate (the paper's
+    "start a 5 Gbps TCP flow" sources).  Throughput is averaged over the
+    post-warmup window.
+    """
+    n_senders = max(flow.src for flow in flows) + 1
+    sim = Simulator()
+    network = single_bottleneck(
+        sim, n_senders, scheduler_factory, scheme.marker_factory,
+        link_rate=link_rate, buffer_packets=buffer_packets,
+    )
+    meter = ThroughputMeter(sim, bin_width=duration / 100.0)
+    meter.attach_port(network.bottleneck_port)
+    trace = QueueOccupancyTrace(network.bottleneck_port) if trace_occupancy else None
+
+    handles = []
+    for flow in flows:
+        rate = None if rate_limits is None else rate_limits.get(flow.src)
+        config = scheme.transport_config(
+            record_rtt=record_rtt, rate_limit_bps=rate, init_cwnd=init_cwnd
+        )
+        handles.append(open_flow(network, flow, config))
+    sim.run(until=duration)
+
+    warmup = duration * warmup_fraction
+    n_queues = network.bottleneck_port.n_queues
+    queue_gbps = {
+        q: meter.average_bps(q, warmup, duration) / 1e9 for q in range(n_queues)
+    }
+    return IncastResult(
+        scheme=scheme.name, duration=duration, warmup=warmup,
+        queue_gbps=queue_gbps, network=network, meter=meter,
+        handles=handles, trace=trace,
+    )

@@ -1,0 +1,46 @@
+"""Measurement: FCT collection, throughput meters, occupancy traces,
+slowdown, exports, and summary statistics."""
+
+from .export import (fct_records_to_csv, mean_of_summaries, rows_to_csv,
+                     series_to_csv, to_json)
+from .fabric_report import FabricReport, PortReport, fabric_report
+from .fct import (
+    FctCollector,
+    FctRecord,
+    LARGE_FLOW_MIN_BYTES,
+    SMALL_FLOW_MAX_BYTES,
+    SizeClass,
+    classify,
+)
+from .queue_trace import QueueOccupancyTrace
+from .slowdown import ideal_fct, slowdown_summary, slowdowns
+from .stats import (SummaryStats, bootstrap_ci, empirical_cdf, percentile,
+                    summarize)
+from .throughput import ThroughputMeter
+
+__all__ = [
+    "FabricReport",
+    "FctCollector",
+    "FctRecord",
+    "LARGE_FLOW_MIN_BYTES",
+    "PortReport",
+    "QueueOccupancyTrace",
+    "SMALL_FLOW_MAX_BYTES",
+    "SizeClass",
+    "SummaryStats",
+    "ThroughputMeter",
+    "bootstrap_ci",
+    "classify",
+    "empirical_cdf",
+    "fabric_report",
+    "fct_records_to_csv",
+    "ideal_fct",
+    "mean_of_summaries",
+    "percentile",
+    "rows_to_csv",
+    "series_to_csv",
+    "slowdown_summary",
+    "slowdowns",
+    "summarize",
+    "to_json",
+]

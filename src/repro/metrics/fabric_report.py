@@ -1,0 +1,99 @@
+"""Fabric-wide health report.
+
+Aggregates the per-port counters of a whole network into one structured
+summary — utilization, drops, CE marks, victim protections — the view an
+operator's dashboard would show.  Used by examples and handy when
+debugging why a scenario underperforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.topology import Network
+
+__all__ = ["PortReport", "FabricReport", "fabric_report"]
+
+
+@dataclass(frozen=True)
+class PortReport:
+    """Counters of one switch output port."""
+
+    port: str
+    switch: str
+    tx_bytes: int
+    utilization: float          # fraction of capacity over the window
+    drops: int
+    packets_marked: int
+    mark_fraction: float
+    occupancy_packets: int      # instantaneous, at report time
+
+
+@dataclass(frozen=True)
+class FabricReport:
+    """Whole-fabric aggregate plus the per-port breakdown."""
+
+    duration: float
+    ports: List[PortReport]
+    total_tx_bytes: int
+    total_drops: int
+    total_marked: int
+
+    @property
+    def busiest_ports(self) -> List[PortReport]:
+        """Ports ordered by transmitted bytes, busiest first."""
+        return sorted(self.ports, key=lambda p: p.tx_bytes, reverse=True)
+
+    def hotspots(self, utilization_threshold: float = 0.9) -> List[PortReport]:
+        """Ports that ran above the given utilization."""
+        return [p for p in self.ports
+                if p.utilization >= utilization_threshold]
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable table of the busiest ports."""
+        lines = [
+            f"fabric over {self.duration * 1e3:.1f} ms: "
+            f"{self.total_tx_bytes / 1e6:.1f} MB transmitted, "
+            f"{self.total_drops} drops, {self.total_marked} CE marks",
+            f"{'port':28s} {'util':>6s} {'drops':>6s} {'marked':>7s} "
+            f"{'mark%':>6s}",
+        ]
+        for report in self.busiest_ports[:top]:
+            lines.append(
+                f"{report.port:28s} {report.utilization:6.2f} "
+                f"{report.drops:6d} {report.packets_marked:7d} "
+                f"{100 * report.mark_fraction:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def fabric_report(network: "Network", duration: float) -> FabricReport:
+    """Snapshot every switch port's counters after a run of ``duration``
+    simulated seconds."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    ports: List[PortReport] = []
+    for switch in network.switches:
+        for port in switch.ports:
+            capacity_bytes = port.link.bandwidth / 8.0 * duration
+            ports.append(
+                PortReport(
+                    port=port.name,
+                    switch=switch.name,
+                    tx_bytes=port.tx_bytes,
+                    utilization=port.tx_bytes / capacity_bytes,
+                    drops=port.drops,
+                    packets_marked=port.marker.packets_marked,
+                    mark_fraction=port.marker.mark_fraction,
+                    occupancy_packets=port.packet_count,
+                )
+            )
+    return FabricReport(
+        duration=duration,
+        ports=ports,
+        total_tx_bytes=sum(p.tx_bytes for p in ports),
+        total_drops=sum(p.drops for p in ports),
+        total_marked=sum(p.packets_marked for p in ports),
+    )

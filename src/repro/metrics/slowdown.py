@@ -1,0 +1,50 @@
+"""FCT slowdown (normalized flow completion time).
+
+Absolute FCTs mix flow size with network performance; the standard
+datacenter metric divides each flow's FCT by the *ideal* FCT the flow
+would see on an idle fabric — base RTT plus pure serialization.  A
+slowdown of 1.0 is perfect; small flows' tail slowdown is the headline
+latency metric in the FCT literature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..net.packet import MTU_BYTES
+from ..transport.base import packets_for_bytes
+from .fct import FctRecord
+from .stats import SummaryStats, summarize
+
+__all__ = ["ideal_fct", "slowdowns", "slowdown_summary"]
+
+
+def ideal_fct(size_bytes: int, link_rate: float, base_rtt: float,
+              mss_bytes: int = MTU_BYTES) -> float:
+    """FCT of the flow on an idle network.
+
+    One base RTT of latency (first packet out → last ACK back, to first
+    order) plus the serialization time of every packet at the slowest
+    link.
+    """
+    if link_rate <= 0 or base_rtt < 0:
+        raise ValueError("need positive link rate and non-negative RTT")
+    n_packets = packets_for_bytes(size_bytes)
+    return base_rtt + n_packets * mss_bytes * 8.0 / link_rate
+
+
+def slowdowns(records: Sequence[FctRecord], link_rate: float,
+              base_rtt: float, mss_bytes: int = MTU_BYTES) -> List[float]:
+    """Per-flow slowdown factors (≥ ~1.0) for completed flows."""
+    return [
+        record.fct / ideal_fct(record.size_bytes, link_rate, base_rtt,
+                               mss_bytes)
+        for record in records
+    ]
+
+
+def slowdown_summary(records: Sequence[FctRecord], link_rate: float,
+                     base_rtt: float,
+                     mss_bytes: int = MTU_BYTES) -> SummaryStats:
+    """Summary statistics of the slowdown distribution."""
+    return summarize(slowdowns(records, link_rate, base_rtt, mss_bytes))

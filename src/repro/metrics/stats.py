@@ -1,0 +1,101 @@
+"""Summary statistics helpers shared by all metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "percentile", "empirical_cdf",
+           "bootstrap_ci"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Multi-seed sweeps report the statistic of a finite sample; the CI
+    makes the sampling noise explicit (e.g. whether a small-flow p99
+    difference between two schemes is meaningful at the BENCH scale).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot bootstrap an empty sample set")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resampled[i] = statistic(rng.choice(array, size=array.size,
+                                            replace=True))
+    tail = (1.0 - confidence) / 2.0 * 100.0
+    return (float(np.percentile(resampled, tail)),
+            float(np.percentile(resampled, 100.0 - tail)))
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """The empirical CDF of a sample set as ``(sorted_values, probs)``.
+
+    This is the representation the paper's distribution figures (Figs. 1
+    and 9) plot; feed it straight to ``series_to_csv`` or a plotter.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from no samples")
+    probs = np.arange(1, array.size + 1) / array.size
+    return array, probs
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0–100) of ``values``."""
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of no samples")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary used across experiments."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "SummaryStats":
+        """Return a copy with every statistic multiplied by ``factor``
+        (unit conversions, e.g. seconds → milliseconds)."""
+        return SummaryStats(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute the standard summary over a sample set."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,66 @@
+"""Topology introspection via networkx.
+
+:func:`to_networkx` renders a built :class:`~repro.net.topology.Network`
+as a directed graph — hosts and switches as nodes, every unidirectional
+link as an edge with ``bandwidth``/``delay`` attributes.  Useful for
+validating custom topologies (strong connectivity, path lengths, cut
+capacities) and for exporting to graph tooling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+__all__ = ["to_networkx", "validate_topology"]
+
+
+def to_networkx(network: "Network") -> "nx.DiGraph":
+    """Build the directed link graph of a network."""
+    graph = nx.DiGraph()
+    for host in network.hosts:
+        graph.add_node(host.name, kind="host", host_id=host.host_id)
+    for switch in network.switches:
+        graph.add_node(switch.name, kind="switch")
+
+    def add_edges(device_name, ports):
+        for port in ports:
+            dst = port.link.dst
+            if dst is None:
+                continue
+            graph.add_edge(
+                device_name, dst.name,
+                bandwidth=port.link.bandwidth,
+                delay=port.link.delay,
+                port=port.name,
+            )
+
+    for switch in network.switches:
+        add_edges(switch.name, switch.ports)
+    for host in network.hosts:
+        if host.nic is not None:
+            add_edges(host.name, [host.nic])
+    return graph
+
+
+def validate_topology(network: "Network") -> None:
+    """Raise if the fabric is not strongly connected over its hosts.
+
+    Every host must be able to reach every other host through the link
+    graph; topology-builder bugs (missing reverse ports, unrouted hosts)
+    surface here long before a simulation silently drops traffic.
+    """
+    graph = to_networkx(network)
+    host_names = [h.name for h in network.hosts]
+    for src in host_names:
+        reachable = nx.descendants(graph, src)
+        missing = [dst for dst in host_names
+                   if dst != src and dst not in reachable]
+        if missing:
+            raise ValueError(
+                f"{src} cannot reach {missing} through the link graph"
+            )

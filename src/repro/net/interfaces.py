@@ -1,0 +1,26 @@
+"""Minimal structural interfaces shared across the network substrate.
+
+We use :class:`typing.Protocol` rather than abstract base classes so the
+hot-path objects (ports, hosts, switches) stay plain slotted classes with
+no ABC machinery, while tests and type checkers can still express "this
+argument is anything with a ``receive`` method".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .packet import Packet
+
+__all__ = ["Device"]
+
+
+@runtime_checkable
+class Device(Protocol):
+    """Anything that can terminate a link: a host or a switch."""
+
+    name: str
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving from a link."""
+        ...

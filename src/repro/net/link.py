@@ -1,0 +1,77 @@
+"""Unidirectional links.
+
+A :class:`Link` models only the wire: a fixed bandwidth used by the
+attached output port to compute serialization time, and a propagation
+delay applied between the end of serialization and delivery at the remote
+device.  Queueing, scheduling and marking all live in
+:class:`repro.net.port.Port`; keeping the link dumb means every
+full-duplex cable is just two independent ``Link`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .interfaces import Device
+from .packet import Packet
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional wire from an output port to a device."""
+
+    __slots__ = ("sim", "bandwidth", "delay", "dst", "name",
+                 "packets_delivered", "bytes_delivered", "up",
+                 "packets_lost")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        delay: float,
+        dst: Optional[Device] = None,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (bits/second)")
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        #: Bits per second.
+        self.bandwidth = bandwidth
+        #: One-way propagation delay in seconds.
+        self.delay = delay
+        self.dst = dst
+        self.name = name
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        #: Failure injection: a downed link silently discards everything
+        #: handed to it (a cable pull, not a graceful drain).
+        self.up = True
+        self.packets_lost = 0
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Serialization time of ``size_bytes`` on this link."""
+        return size_bytes * 8.0 / self.bandwidth
+
+    def deliver(self, packet: Packet) -> None:
+        """Start propagation: the remote device receives the packet after
+        ``delay`` seconds.  Must be called when serialization completes."""
+        if self.dst is None:
+            raise RuntimeError(f"{self.name}: deliver() on an unattached link")
+        if not self.up:
+            self.packets_lost += 1
+            return
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        self.sim.schedule(self.delay, self.dst.receive, packet)
+
+    def set_down(self) -> None:
+        """Fail the link: subsequent packets are lost in flight."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Restore a failed link."""
+        self.up = True

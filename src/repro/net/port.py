@@ -1,0 +1,200 @@
+"""Switch output port: buffer accounting, marking hooks, transmission.
+
+The port owns
+
+- a :class:`~repro.scheduling.base.Scheduler` providing per-queue storage
+  and the service discipline,
+- an optional :class:`~repro.ecn.base.Marker` consulted at enqueue and
+  dequeue,
+- the outgoing :class:`~repro.net.link.Link`.
+
+Occupancy is tracked in both packets and bytes at port and queue
+granularity; the paper quotes all thresholds in packets, so markers read
+``port.packet_count`` / ``port.queue_packet_count(i)``.
+
+Semantics: a packet occupies the buffer until it is **fully serialized**
+onto the wire (store-and-forward).  This matters: a busy port always
+counts at least the in-service packet, so a single line-rate flow sees
+occupancy 2 at every enqueue — which is exactly why the paper's Fig. 2
+per-queue *fractional* thresholds (K=2) throttle a lone flow while K=16
+does not.  Marking at dequeue is evaluated when transmission starts,
+while the packet still counts toward occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..ecn.base import Marker, NullMarker
+from ..scheduling.base import Scheduler
+from ..sim.engine import Simulator
+from .link import Link
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ecn.service_pool import BufferPool
+
+__all__ = ["Port"]
+
+#: Signature of per-departure listeners: (port, queue_index, packet).
+DequeueListener = Callable[["Port", int, Packet], None]
+
+
+class Port:
+    """One output interface of a host or switch."""
+
+    __slots__ = (
+        "sim",
+        "link",
+        "scheduler",
+        "marker",
+        "name",
+        "buffer_packets",
+        "pool",
+        "_packet_count",
+        "_byte_count",
+        "_queue_packets",
+        "_queue_bytes",
+        "busy",
+        "drops",
+        "queue_drops",
+        "tx_packets",
+        "tx_bytes",
+        "queue_tx_bytes",
+        "last_departure",
+        "dequeue_listeners",
+        "enqueue_listeners",
+        "drop_listeners",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        scheduler: Scheduler,
+        marker: Optional[Marker] = None,
+        buffer_packets: Optional[int] = None,
+        name: str = "port",
+        pool: Optional["BufferPool"] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.scheduler = scheduler
+        self.marker = marker if marker is not None else NullMarker()
+        self.name = name
+        #: Drop-tail capacity in packets (None = unbounded).
+        self.buffer_packets = buffer_packets
+        #: Optional shared service pool this port's buffer draws from.
+        self.pool = pool
+        self._packet_count = 0
+        self._byte_count = 0
+        self._queue_packets = [0] * scheduler.n_queues
+        self._queue_bytes = [0] * scheduler.n_queues
+        self.busy = False
+        self.drops = 0
+        self.queue_drops = [0] * scheduler.n_queues
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.queue_tx_bytes = [0] * scheduler.n_queues
+        #: Simulation time of the most recent transmission completion.
+        self.last_departure = 0.0
+        self.dequeue_listeners: List[DequeueListener] = []
+        self.enqueue_listeners: List[DequeueListener] = []
+        self.drop_listeners: List[DequeueListener] = []
+        self.marker.attach(self)
+
+    # -- occupancy views (what markers read) -----------------------------
+
+    @property
+    def n_queues(self) -> int:
+        return self.scheduler.n_queues
+
+    @property
+    def packet_count(self) -> int:
+        """Instantaneous port buffer occupancy in packets."""
+        return self._packet_count
+
+    @property
+    def byte_count(self) -> int:
+        """Instantaneous port buffer occupancy in bytes."""
+        return self._byte_count
+
+    def queue_packet_count(self, queue_index: int) -> int:
+        """Instantaneous occupancy of one queue in packets."""
+        return self._queue_packets[queue_index]
+
+    def queue_byte_count(self, queue_index: int) -> int:
+        """Instantaneous occupancy of one queue in bytes."""
+        return self._queue_bytes[queue_index]
+
+    @property
+    def weights(self) -> List[float]:
+        """Scheduler weight vector (markers use it for per-queue shares)."""
+        return self.scheduler.weights
+
+    # -- datapath ---------------------------------------------------------
+
+    def enqueue(self, packet: Packet, queue_index: int = 0) -> bool:
+        """Admit a packet into ``queue_index``.
+
+        Returns False when the packet was dropped (buffer full).
+        """
+        if (
+            self.buffer_packets is not None
+            and self._packet_count >= self.buffer_packets
+        ) or (self.pool is not None
+              and not self.pool.admits(self._packet_count)):
+            self.drops += 1
+            self.queue_drops[queue_index] += 1
+            for listener in self.drop_listeners:
+                listener(self, queue_index, packet)
+            return False
+        self._packet_count += 1
+        self._byte_count += packet.size
+        self._queue_packets[queue_index] += 1
+        self._queue_bytes[queue_index] += packet.size
+        if self.pool is not None:
+            self.pool.add(packet.size)
+        packet.enqueue_time = self.sim.now
+        self.scheduler.enqueue(queue_index, packet)
+        self.marker.on_enqueue(self, queue_index, packet)
+        for listener in self.enqueue_listeners:
+            listener(self, queue_index, packet)
+        if not self.busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        item = self.scheduler.dequeue()
+        if item is None:
+            self.busy = False
+            return
+        queue_index, packet = item
+        # Dequeue marking sees occupancy that still includes this packet.
+        self.marker.on_dequeue(self, queue_index, packet)
+        self.busy = True
+        tx_time = self.link.tx_time(packet.size)
+        self.sim.schedule(tx_time, self._transmission_done, queue_index, packet)
+
+    def _transmission_done(self, queue_index: int, packet: Packet) -> None:
+        # The packet has left the buffer only now that it is on the wire.
+        self._packet_count -= 1
+        self._byte_count -= packet.size
+        self._queue_packets[queue_index] -= 1
+        self._queue_bytes[queue_index] -= packet.size
+        if self.pool is not None:
+            self.pool.remove(packet.size)
+        self.link.deliver(packet)
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.queue_tx_bytes[queue_index] += packet.size
+        self.last_departure = self.sim.now
+        for listener in self.dequeue_listeners:
+            listener(self, queue_index, packet)
+        self._transmit_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Port({self.name}, {self._packet_count}pkts/"
+            f"{self.scheduler.n_queues}q, busy={self.busy})"
+        )

@@ -1,0 +1,96 @@
+"""Output-queued switch with ECMP forwarding.
+
+A switch is a set of output :class:`~repro.net.port.Port` objects plus a
+route table mapping destination host ids to candidate port indices.  When
+several candidate ports exist (leaf→spine uplinks) the switch picks one by
+hashing the flow id — per-flow ECMP, so a flow never reorders across
+paths.
+
+Packet-to-queue classification models DSCP-based service isolation: the
+default classifier maps ``packet.service`` onto a queue index modulo the
+port's queue count, matching how operators pin services to switch queues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.rng import stable_hash
+from .packet import Packet
+from .port import Port
+
+__all__ = ["Switch"]
+
+#: Signature of queue classifiers: (packet, port) -> queue index.
+Classifier = Callable[[Packet, Port], int]
+
+
+def service_classifier(packet: Packet, port: Port) -> int:
+    """Default DSCP-style classification: service id modulo queue count."""
+    return packet.service % port.n_queues
+
+
+class Switch:
+    """An output-queued multi-port switch."""
+
+    __slots__ = ("sim", "name", "ports", "routes", "classifier", "ecmp_salt",
+                 "forwarded", "_ecmp_cache")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "switch",
+        classifier: Optional[Classifier] = None,
+        ecmp_salt: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.ports: List[Port] = []
+        #: dst host id -> candidate output port indices (ECMP group).
+        self.routes: Dict[int, List[int]] = {}
+        self.classifier = classifier if classifier is not None else service_classifier
+        #: Per-switch hash salt so different switches spread flows
+        #: independently (as real switches' hash seeds do).
+        self.ecmp_salt = ecmp_salt
+        self.forwarded = 0
+        #: (flow_id, dst) -> chosen port index.  The hash is pure, so
+        #: memoizing it keeps the per-packet hot path to one dict lookup.
+        self._ecmp_cache: Dict[tuple, int] = {}
+
+    def add_port(self, port: Port) -> int:
+        """Register an output port, returning its index."""
+        self.ports.append(port)
+        return len(self.ports) - 1
+
+    def set_route(self, dst_host: int, port_indices: List[int]) -> None:
+        """Install the ECMP group used to reach ``dst_host``."""
+        if not port_indices:
+            raise ValueError("a route needs at least one port")
+        for index in port_indices:
+            if not 0 <= index < len(self.ports):
+                raise ValueError(f"{self.name}: no port with index {index}")
+        self.routes[dst_host] = list(port_indices)
+        # Route changes invalidate memoized path choices.
+        self._ecmp_cache.clear()
+
+    def receive(self, packet: Packet) -> None:
+        """Forward a packet toward its destination host."""
+        try:
+            candidates = self.routes[packet.dst]
+        except KeyError:
+            raise RuntimeError(
+                f"{self.name}: no route to host {packet.dst}"
+            ) from None
+        if len(candidates) == 1:
+            port = self.ports[candidates[0]]
+        else:
+            key = (packet.flow_id, packet.dst)
+            index = self._ecmp_cache.get(key)
+            if index is None:
+                choice = stable_hash(packet.flow_id, self.ecmp_salt) % len(candidates)
+                index = candidates[choice]
+                self._ecmp_cache[key] = index
+            port = self.ports[index]
+        self.forwarded += 1
+        port.enqueue(packet, self.classifier(packet, port))

@@ -1,0 +1,313 @@
+"""Topology builders.
+
+Two fabrics cover every experiment in the paper:
+
+- :func:`single_bottleneck` — N senders, one switch, one receiver.  All
+  motivation and static-flow experiments (Figs. 1–15) are incast patterns
+  through one multi-queue bottleneck port.
+- :func:`leaf_spine` — the paper's large-scale fabric: 4 leaf × 4 spine,
+  12 hosts per leaf, non-blocking, per-flow ECMP (Figs. 16–27).
+
+Both builders take *factories* for the scheduler and marker so each
+congestion-managed port gets fresh instances; NIC ports and reverse-path
+ports are plain FIFO with no marking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..ecn.base import Marker, NullMarker
+from ..scheduling.base import Scheduler
+from ..scheduling.fifo import FifoScheduler
+from ..sim.engine import Simulator
+from .host import Host
+from .link import Link
+from .port import Port
+from .switch import Switch
+
+__all__ = ["Network", "single_bottleneck", "leaf_spine", "fat_tree"]
+
+SchedulerFactory = Callable[[], Scheduler]
+MarkerFactory = Callable[[], Marker]
+
+#: Default one-way propagation delay per hop (5 µs → ~20 µs base RTT
+#: through one switch, a typical datacenter figure).
+DEFAULT_LINK_DELAY = 5e-6
+#: Default drop-tail capacity of congestion-managed ports, sized so ECN
+#: (not loss) is the operative signal, like the deep-buffered ToR ports
+#: the paper assumes.
+DEFAULT_BUFFER_PACKETS = 1000
+
+
+class Network:
+    """Container for a built topology."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        #: The congested port experiments observe (single-bottleneck only).
+        self.bottleneck_port: Optional[Port] = None
+
+    def host(self, host_id: int) -> Host:
+        return self.hosts[host_id]
+
+    def all_marked_ports(self) -> List[Port]:
+        """Every port carrying a non-null marker (the congestion points)."""
+        ports = []
+        for switch in self.switches:
+            for port in switch.ports:
+                if not isinstance(port.marker, NullMarker):
+                    ports.append(port)
+        return ports
+
+
+def _plain_port(sim: Simulator, link: Link, name: str,
+                buffer_packets: Optional[int] = None) -> Port:
+    """A FIFO, non-marking port (host NICs and reverse paths).
+
+    Unbounded by default: a host's transmit path backpressures the stack
+    rather than dropping its own packets, and modelling that as an
+    elastic queue avoids the unrealistic failure mode of a sender
+    dropping its own retransmission at the local NIC.
+    """
+    return Port(sim, link, FifoScheduler(1), NullMarker(),
+                buffer_packets=buffer_packets, name=name)
+
+
+def single_bottleneck(
+    sim: Simulator,
+    n_senders: int,
+    scheduler_factory: SchedulerFactory,
+    marker_factory: MarkerFactory,
+    link_rate: float = 10e9,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+) -> Network:
+    """Build an incast fabric: ``n_senders`` hosts → switch → 1 receiver.
+
+    Host ids ``0 .. n_senders-1`` are the senders; id ``n_senders`` is the
+    receiver.  ``network.bottleneck_port`` is the switch port feeding the
+    receiver — the only multi-queue, marking port in the fabric.
+    """
+    network = Network(sim)
+    switch = Switch(sim, name="sw0")
+    network.switches.append(switch)
+    hosts = [Host(sim, i) for i in range(n_senders + 1)]
+    network.hosts = hosts
+    receiver = hosts[n_senders]
+
+    # Bottleneck port: switch -> receiver.
+    down_link = Link(sim, link_rate, link_delay, receiver, name="sw0->recv")
+    bottleneck = Port(
+        sim, down_link, scheduler_factory(), marker_factory(),
+        buffer_packets=buffer_packets, name="sw0:bottleneck",
+    )
+    bottleneck_index = switch.add_port(bottleneck)
+    switch.set_route(receiver.host_id, [bottleneck_index])
+    network.bottleneck_port = bottleneck
+
+    # Receiver NIC (carries only ACKs back into the fabric).
+    recv_up = Link(sim, link_rate, link_delay, switch, name="recv->sw0")
+    receiver.attach_nic(_plain_port(sim, recv_up, f"{receiver.name}:nic"))
+
+    # Sender NICs and the switch's reverse ports toward them.
+    for sender in hosts[:n_senders]:
+        up_link = Link(sim, link_rate, link_delay, switch, name=f"{sender.name}->sw0")
+        sender.attach_nic(_plain_port(sim, up_link, f"{sender.name}:nic"))
+        back_link = Link(sim, link_rate, link_delay, sender, name=f"sw0->{sender.name}")
+        back_index = switch.add_port(
+            _plain_port(sim, back_link, f"sw0:to_{sender.name}")
+        )
+        switch.set_route(sender.host_id, [back_index])
+    return network
+
+
+def leaf_spine(
+    sim: Simulator,
+    scheduler_factory: SchedulerFactory,
+    marker_factory: MarkerFactory,
+    n_leaf: int = 4,
+    n_spine: int = 4,
+    hosts_per_leaf: int = 12,
+    link_rate: float = 10e9,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+) -> Network:
+    """Build the paper's leaf-spine fabric.
+
+    Defaults give the 48-host, 4×4 non-blocking network of §VI-B.  Every
+    switch output port (leaf downlinks, leaf uplinks, spine downlinks) is
+    congestion-managed: it gets a fresh scheduler and marker from the
+    factories.  Leaf→spine forwarding uses per-flow ECMP across all
+    spines.
+    """
+    network = Network(sim)
+    n_hosts = n_leaf * hosts_per_leaf
+    hosts = [Host(sim, i) for i in range(n_hosts)]
+    network.hosts = hosts
+    leaves = [Switch(sim, name=f"leaf{i}", ecmp_salt=1000 + i) for i in range(n_leaf)]
+    spines = [Switch(sim, name=f"spine{i}", ecmp_salt=2000 + i) for i in range(n_spine)]
+    network.switches = leaves + spines
+
+    def managed_port(link: Link, name: str) -> Port:
+        return Port(sim, link, scheduler_factory(), marker_factory(),
+                    buffer_packets=buffer_packets, name=name)
+
+    # Host <-> leaf links.
+    for leaf_index, leaf in enumerate(leaves):
+        for slot in range(hosts_per_leaf):
+            host = hosts[leaf_index * hosts_per_leaf + slot]
+            up = Link(sim, link_rate, link_delay, leaf, name=f"{host.name}->{leaf.name}")
+            host.attach_nic(_plain_port(sim, up, f"{host.name}:nic"))
+            down = Link(sim, link_rate, link_delay, host, name=f"{leaf.name}->{host.name}")
+            port_index = leaf.add_port(managed_port(down, f"{leaf.name}:to_{host.name}"))
+            leaf.set_route(host.host_id, [port_index])
+
+    # Leaf <-> spine links (full bipartite).
+    uplink_indices: List[List[int]] = [[] for _ in range(n_leaf)]
+    for leaf_index, leaf in enumerate(leaves):
+        for spine_index, spine in enumerate(spines):
+            up = Link(sim, link_rate, link_delay, spine, name=f"{leaf.name}->{spine.name}")
+            up_index = leaf.add_port(managed_port(up, f"{leaf.name}:to_{spine.name}"))
+            uplink_indices[leaf_index].append(up_index)
+            down = Link(sim, link_rate, link_delay, leaf, name=f"{spine.name}->{leaf.name}")
+            down_index = spine.add_port(managed_port(down, f"{spine.name}:to_{leaf.name}"))
+            for slot in range(hosts_per_leaf):
+                host_id = leaf_index * hosts_per_leaf + slot
+                spine.set_route(host_id, [down_index])
+
+    # Leaf routes to remote hosts: ECMP across all uplinks.
+    for leaf_index, leaf in enumerate(leaves):
+        for host in hosts:
+            if host.host_id // hosts_per_leaf != leaf_index:
+                leaf.set_route(host.host_id, uplink_indices[leaf_index])
+    return network
+
+
+def fat_tree(
+    sim: Simulator,
+    scheduler_factory: SchedulerFactory,
+    marker_factory: MarkerFactory,
+    k: int = 4,
+    link_rate: float = 10e9,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+) -> Network:
+    """Build a k-ary fat-tree (Al-Fares et al.).
+
+    ``k`` pods, each with ``k/2`` edge and ``k/2`` aggregation switches;
+    ``(k/2)²`` core switches in ``k/2`` groups; ``k³/4`` hosts.  Routing
+    is the standard two-level ECMP: edge switches spread remote traffic
+    over their aggregation uplinks, aggregation switches over their core
+    group; downstream paths are deterministic.  Every switch output port
+    is congestion-managed via the factories, like :func:`leaf_spine`.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    hosts_per_pod = half * half
+    n_hosts = k * hosts_per_pod
+
+    network = Network(sim)
+    hosts = [Host(sim, i) for i in range(n_hosts)]
+    network.hosts = hosts
+    edges = [[Switch(sim, name=f"edge{p}_{e}", ecmp_salt=3000 + p * half + e)
+              for e in range(half)] for p in range(k)]
+    aggs = [[Switch(sim, name=f"agg{p}_{j}", ecmp_salt=4000 + p * half + j)
+             for j in range(half)] for p in range(k)]
+    cores = [[Switch(sim, name=f"core{j}_{m}", ecmp_salt=5000 + j * half + m)
+              for m in range(half)] for j in range(half)]
+    network.switches = (
+        [s for pod in edges for s in pod]
+        + [s for pod in aggs for s in pod]
+        + [s for group in cores for s in group]
+    )
+
+    def managed_port(link: Link, name: str) -> Port:
+        return Port(sim, link, scheduler_factory(), marker_factory(),
+                    buffer_packets=buffer_packets, name=name)
+
+    def host_of(pod: int, edge: int, slot: int) -> Host:
+        return hosts[pod * hosts_per_pod + edge * half + slot]
+
+    def pod_of(host_id: int) -> int:
+        return host_id // hosts_per_pod
+
+    def edge_of(host_id: int) -> int:
+        return (host_id % hosts_per_pod) // half
+
+    # Host <-> edge links.
+    for pod in range(k):
+        for e in range(half):
+            edge_switch = edges[pod][e]
+            for slot in range(half):
+                host = host_of(pod, e, slot)
+                up = Link(sim, link_rate, link_delay, edge_switch,
+                          name=f"{host.name}->{edge_switch.name}")
+                host.attach_nic(_plain_port(sim, up, f"{host.name}:nic"))
+                down = Link(sim, link_rate, link_delay, host,
+                            name=f"{edge_switch.name}->{host.name}")
+                index = edge_switch.add_port(
+                    managed_port(down, f"{edge_switch.name}:to_{host.name}"))
+                edge_switch.set_route(host.host_id, [index])
+
+    # Edge <-> aggregation links (full bipartite within a pod).
+    edge_uplinks = [[[] for _e in range(half)] for _p in range(k)]
+    agg_down_to_edge = [[{} for _j in range(half)] for _p in range(k)]
+    for pod in range(k):
+        for e in range(half):
+            for j in range(half):
+                edge_switch, agg_switch = edges[pod][e], aggs[pod][j]
+                up = Link(sim, link_rate, link_delay, agg_switch,
+                          name=f"{edge_switch.name}->{agg_switch.name}")
+                up_index = edge_switch.add_port(
+                    managed_port(up, f"{edge_switch.name}:to_{agg_switch.name}"))
+                edge_uplinks[pod][e].append(up_index)
+                down = Link(sim, link_rate, link_delay, edge_switch,
+                            name=f"{agg_switch.name}->{edge_switch.name}")
+                down_index = agg_switch.add_port(
+                    managed_port(down, f"{agg_switch.name}:to_{edge_switch.name}"))
+                agg_down_to_edge[pod][j][e] = down_index
+
+    # Aggregation <-> core links: agg j of every pod connects to core
+    # group j.
+    agg_uplinks = [[[] for _j in range(half)] for _p in range(k)]
+    core_down_to_pod = [[{} for _m in range(half)] for _j in range(half)]
+    for j in range(half):
+        for m in range(half):
+            core_switch = cores[j][m]
+            for pod in range(k):
+                agg_switch = aggs[pod][j]
+                up = Link(sim, link_rate, link_delay, core_switch,
+                          name=f"{agg_switch.name}->{core_switch.name}")
+                up_index = agg_switch.add_port(
+                    managed_port(up, f"{agg_switch.name}:to_{core_switch.name}"))
+                agg_uplinks[pod][j].append(up_index)
+                down = Link(sim, link_rate, link_delay, agg_switch,
+                            name=f"{core_switch.name}->{agg_switch.name}")
+                down_index = core_switch.add_port(
+                    managed_port(down, f"{core_switch.name}:to_{agg_switch.name}"))
+                core_down_to_pod[j][m][pod] = down_index
+
+    # Routes.
+    for host in hosts:
+        dst, pod, e = host.host_id, pod_of(host.host_id), edge_of(host.host_id)
+        # Edge switches: local port already routed; remote -> agg ECMP.
+        for p in range(k):
+            for e2 in range(half):
+                if not (p == pod and e2 == e):
+                    edges[p][e2].set_route(dst, edge_uplinks[p][e2])
+        # Aggregation switches.
+        for p in range(k):
+            for j in range(half):
+                if p == pod:
+                    aggs[p][j].set_route(dst, [agg_down_to_edge[p][j][e]])
+                else:
+                    aggs[p][j].set_route(dst, agg_uplinks[p][j])
+        # Core switches.
+        for j in range(half):
+            for m in range(half):
+                cores[j][m].set_route(dst, [core_down_to_pod[j][m][pod]])
+    return network

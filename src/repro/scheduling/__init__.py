@@ -1,0 +1,20 @@
+"""Packet schedulers: FIFO, strict priority, WRR, DWRR, WFQ, SP+WFQ."""
+
+from .base import Scheduler, normalize_weights
+from .dwrr import DwrrScheduler
+from .fifo import FifoScheduler
+from .hybrid import SpWfqScheduler
+from .strict_priority import StrictPriorityScheduler
+from .wfq import WfqScheduler
+from .wrr import WrrScheduler
+
+__all__ = [
+    "DwrrScheduler",
+    "FifoScheduler",
+    "Scheduler",
+    "SpWfqScheduler",
+    "StrictPriorityScheduler",
+    "WfqScheduler",
+    "WrrScheduler",
+    "normalize_weights",
+]

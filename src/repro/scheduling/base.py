@@ -1,0 +1,88 @@
+"""Scheduler interface.
+
+A scheduler owns the per-queue packet storage of one output port and
+decides which queue the next departing packet comes from.  The port calls
+``enqueue(queue_index, packet)`` when a packet is admitted and
+``dequeue()`` each time the link becomes free.
+
+Round-based schedulers (WRR, DWRR) additionally report *round boundaries*
+through :attr:`Scheduler.round_observer`; MQ-ECN uses this to estimate
+``T_round`` without reaching into scheduler internals.  Schedulers with no
+notion of rounds never invoke the observer — which is exactly the property
+that makes MQ-ECN inapplicable to them (Table I of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+
+__all__ = ["Scheduler", "normalize_weights"]
+
+
+def normalize_weights(n_queues: int, weights: Optional[Sequence[float]]) -> List[float]:
+    """Validate and materialize a weight vector (defaults to all-equal)."""
+    if weights is None:
+        return [1.0] * n_queues
+    if len(weights) != n_queues:
+        raise ValueError(f"expected {n_queues} weights, got {len(weights)}")
+    result = [float(w) for w in weights]
+    if any(w <= 0 for w in result):
+        raise ValueError("weights must be positive")
+    return result
+
+
+class Scheduler:
+    """Base class with shared storage and accounting.
+
+    Subclasses implement :meth:`dequeue`; most reuse the base
+    :meth:`enqueue`.  ``is_round_based`` advertises whether the scheduler
+    has a "round" concept (and therefore drives ``round_observer``).
+    """
+
+    is_round_based = False
+
+    def __init__(self, n_queues: int, weights: Optional[Sequence[float]] = None):
+        if n_queues < 1:
+            raise ValueError("a scheduler needs at least one queue")
+        self.n_queues = n_queues
+        self.weights = normalize_weights(n_queues, weights)
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(n_queues)]
+        self._total_packets = 0
+        #: Called as ``round_observer(sim_now_unknown)`` — actually with no
+        #: argument — at each round boundary.  Only round-based schedulers
+        #: ever invoke it.
+        self.round_observer: Optional[Callable[[], None]] = None
+
+    def __len__(self) -> int:
+        return self._total_packets
+
+    @property
+    def is_empty(self) -> bool:
+        return self._total_packets == 0
+
+    def queue_len(self, queue_index: int) -> int:
+        """Number of packets currently stored in ``queue_index``."""
+        return len(self._queues[queue_index])
+
+    def enqueue(self, queue_index: int, packet: Packet) -> None:
+        """Append ``packet`` to ``queue_index``."""
+        self._queues[queue_index].append(packet)
+        self._total_packets += 1
+
+    def dequeue(self) -> Optional[Tuple[int, Packet]]:
+        """Remove and return ``(queue_index, packet)``; None when empty."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ------------------------------------------
+
+    def _pop(self, queue_index: int) -> Packet:
+        packet = self._queues[queue_index].popleft()
+        self._total_packets -= 1
+        return packet
+
+    def _notify_round(self) -> None:
+        if self.round_observer is not None:
+            self.round_observer()

@@ -1,0 +1,36 @@
+"""First-in-first-out scheduling.
+
+``FifoScheduler`` serves packets strictly in arrival order regardless of
+which queue they sit in.  With ``n_queues=1`` it is the plain drop-tail
+discipline used by host NICs; with more queues it still provides the
+per-queue occupancy accounting markers rely on, while the service order
+ignores queue boundaries (useful as a degenerate baseline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+from .base import Scheduler
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(Scheduler):
+    """Global FIFO across all queues."""
+
+    def __init__(self, n_queues: int = 1, weights: Optional[Sequence[float]] = None):
+        super().__init__(n_queues, weights)
+        self._order: Deque[int] = deque()
+
+    def enqueue(self, queue_index: int, packet: Packet) -> None:
+        super().enqueue(queue_index, packet)
+        self._order.append(queue_index)
+
+    def dequeue(self) -> Optional[Tuple[int, Packet]]:
+        if self._total_packets == 0:
+            return None
+        queue_index = self._order.popleft()
+        return queue_index, self._pop(queue_index)

@@ -1,0 +1,45 @@
+"""Strict Priority (SP) scheduling.
+
+Queue 0 has the highest priority by default; an explicit ``priorities``
+vector (lower value = served first) can reorder that.  SP has no notion of
+a "round", which is one of the schedulers MQ-ECN cannot support and PMSB
+can (paper §II-C, Table I).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+from .base import Scheduler
+
+__all__ = ["StrictPriorityScheduler"]
+
+
+class StrictPriorityScheduler(Scheduler):
+    """Always serve the highest-priority backlogged queue."""
+
+    def __init__(
+        self,
+        n_queues: int,
+        priorities: Optional[Sequence[int]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(n_queues, weights)
+        if priorities is None:
+            priorities = list(range(n_queues))
+        if len(priorities) != n_queues:
+            raise ValueError(f"expected {n_queues} priorities, got {len(priorities)}")
+        self.priorities = list(priorities)
+        #: Queue indices sorted by (priority, index): the service order.
+        self._service_order: List[int] = sorted(
+            range(n_queues), key=lambda q: (self.priorities[q], q)
+        )
+
+    def dequeue(self) -> Optional[Tuple[int, Packet]]:
+        if self._total_packets == 0:
+            return None
+        for queue_index in self._service_order:
+            if self._queues[queue_index]:
+                return queue_index, self._pop(queue_index)
+        raise AssertionError("packet accounting out of sync")  # pragma: no cover

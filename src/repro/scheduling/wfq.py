@@ -1,0 +1,57 @@
+"""Weighted Fair Queueing via Start-time Fair Queueing (SFQ).
+
+True WFQ tracks the virtual time of a fluid GPS reference system, which is
+expensive and subtle.  We implement Goyal's Start-time Fair Queueing, the
+standard practical approximation: each packet gets a start tag
+``S = max(v, F_q)`` and the queue's finish tag advances by
+``size / weight``; the scheduler serves the backlogged packet with the
+smallest start tag and sets the virtual time ``v`` to it.
+
+SFQ has no notion of a round (it is "generic" in the paper's taxonomy),
+so MQ-ECN cannot drive it — exactly the limitation PMSB removes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+from .base import Scheduler
+
+__all__ = ["WfqScheduler"]
+
+
+class WfqScheduler(Scheduler):
+    """Start-time fair queueing over ``n_queues`` weighted queues."""
+
+    def __init__(self, n_queues: int, weights: Optional[Sequence[float]] = None):
+        super().__init__(n_queues, weights)
+        self._virtual_time = 0.0
+        self._finish_tag = [0.0] * n_queues
+        self._start_tags: list[Deque[float]] = [deque() for _ in range(n_queues)]
+
+    @property
+    def virtual_time(self) -> float:
+        """Current virtual time (start tag of the last served packet)."""
+        return self._virtual_time
+
+    def enqueue(self, queue_index: int, packet: Packet) -> None:
+        start = max(self._virtual_time, self._finish_tag[queue_index])
+        self._finish_tag[queue_index] = start + packet.size / self.weights[queue_index]
+        self._start_tags[queue_index].append(start)
+        super().enqueue(queue_index, packet)
+
+    def dequeue(self) -> Optional[Tuple[int, Packet]]:
+        if self._total_packets == 0:
+            return None
+        best_queue = -1
+        best_tag = 0.0
+        for queue_index in range(self.n_queues):
+            tags = self._start_tags[queue_index]
+            if tags and (best_queue < 0 or tags[0] < best_tag):
+                best_queue = queue_index
+                best_tag = tags[0]
+        self._start_tags[best_queue].popleft()
+        self._virtual_time = best_tag
+        return best_queue, self._pop(best_queue)

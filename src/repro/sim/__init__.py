@@ -1,0 +1,16 @@
+"""Discrete-event simulation engine (event loop, timers, deterministic RNG)."""
+
+from .engine import Event, SimulationError, Simulator
+from .rng import make_rng, spawn, stable_hash
+from .timers import PeriodicTask, Timer
+
+__all__ = [
+    "Event",
+    "PeriodicTask",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "make_rng",
+    "spawn",
+    "stable_hash",
+]

@@ -1,0 +1,48 @@
+"""Deterministic random-number plumbing.
+
+Every scenario owns exactly one root :class:`numpy.random.Generator`
+seeded from the scenario seed.  Components that need independent streams
+(workload generator, ECMP hashing salt, per-flow jitter) derive child
+generators through :func:`spawn`, so adding a new consumer never perturbs
+the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn", "stable_hash"]
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Create the root generator for a scenario."""
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int = 1) -> Iterator[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    for seed_seq in rng.bit_generator.seed_seq.spawn(n):  # type: ignore[attr-defined]
+        yield np.random.default_rng(seed_seq)
+
+
+def stable_hash(*parts: int) -> int:
+    """A fast, deterministic 64-bit mix of integers.
+
+    Python's built-in ``hash`` is salted per process for strings and must
+    not be used for ECMP path selection (runs would not be reproducible).
+    This is a splitmix64-style finalizer over the parts.
+    """
+    acc = 0
+    for part in parts:
+        acc = (acc + (part & _MASK64) + _GOLDEN64) & _MASK64
+        acc ^= acc >> 30
+        acc = (acc * 0xBF58476D1CE4E5B9) & _MASK64
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & _MASK64
+        acc ^= acc >> 31
+    return acc

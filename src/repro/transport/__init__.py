@@ -1,0 +1,30 @@
+"""End-host transport: DCTCP with ECN-filter hook (PMSB(e)) and pacing."""
+
+from .base import DctcpConfig, PAYLOAD_BYTES, packets_for_bytes
+from .classic_ecn import ClassicEcnSender
+from .d2tcp import D2tcpSender
+from .dcqcn import DcqcnConfig, DcqcnReceiver, DcqcnSender, open_dcqcn_flow
+from .dctcp import DctcpSender
+from .endpoints import FlowHandle, open_flow, open_flows
+from .flow import Flow
+from .receiver import DctcpReceiver
+from .timely import TimelySender
+
+__all__ = [
+    "ClassicEcnSender",
+    "D2tcpSender",
+    "DcqcnConfig",
+    "DcqcnReceiver",
+    "DcqcnSender",
+    "DctcpConfig",
+    "DctcpReceiver",
+    "DctcpSender",
+    "Flow",
+    "FlowHandle",
+    "PAYLOAD_BYTES",
+    "TimelySender",
+    "open_dcqcn_flow",
+    "open_flow",
+    "open_flows",
+    "packets_for_bytes",
+]

@@ -1,0 +1,81 @@
+"""Flow wiring: create sender + receiver and register them at the hosts.
+
+:func:`open_flow` is the one-call way to put a transfer on a built
+:class:`~repro.net.topology.Network`: it instantiates the DCTCP endpoints,
+hooks them into each host's demultiplexer, and schedules the sender's
+start.  The returned :class:`FlowHandle` is how experiments inspect
+per-flow state afterwards (FCT, throughput, filter statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.topology import Network
+from .base import DctcpConfig
+from .dctcp import CompletionCallback, DctcpSender
+from .flow import Flow
+from .receiver import DctcpReceiver
+
+__all__ = ["FlowHandle", "open_flow", "open_flows"]
+
+
+@dataclass
+class FlowHandle:
+    """A live flow: descriptor plus both endpoints."""
+
+    flow: Flow
+    sender: DctcpSender
+    receiver: DctcpReceiver
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time, once the flow finished."""
+        return self.sender.fct
+
+    def goodput_bps(self, duration: float) -> float:
+        """Average received rate (wire bytes) over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.receiver.bytes_received * 8.0 / duration
+
+
+def open_flow(
+    network: Network,
+    flow: Flow,
+    config: Optional[DctcpConfig] = None,
+    on_complete: Optional[CompletionCallback] = None,
+    sender_class: type = DctcpSender,
+) -> FlowHandle:
+    """Wire one flow onto the network and schedule its start.
+
+    ``sender_class`` selects the congestion-control variant: the default
+    :class:`DctcpSender`, or e.g. :class:`~repro.transport.classic_ecn.
+    ClassicEcnSender` for an RFC 3168 baseline.
+    """
+    sim = network.sim
+    src_host = network.host(flow.src)
+    dst_host = network.host(flow.dst)
+    if config is None:
+        config = DctcpConfig()
+    receiver = DctcpReceiver(sim, dst_host, flow, ack_every=config.ack_every,
+                             delack_timeout=config.delack_timeout)
+    sender = sender_class(sim, src_host, flow, config, on_complete)
+    dst_host.register_flow(flow.flow_id, data_handler=receiver.on_data)
+    src_host.register_flow(flow.flow_id, ack_handler=sender.on_ack)
+    if flow.start_time > sim.now:
+        sim.at(flow.start_time, sender.start)
+    else:
+        sim.schedule(0.0, sender.start)
+    return FlowHandle(flow, sender, receiver)
+
+
+def open_flows(
+    network: Network,
+    flows: List[Flow],
+    config: Optional[DctcpConfig] = None,
+    on_complete: Optional[CompletionCallback] = None,
+) -> List[FlowHandle]:
+    """Wire a batch of flows with shared configuration."""
+    return [open_flow(network, flow, config, on_complete) for flow in flows]

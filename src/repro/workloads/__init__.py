@@ -1,0 +1,30 @@
+"""Workloads: flow-size distributions, Poisson arrivals, service mapping."""
+
+from .distributions import (
+    DATA_MINING,
+    EmpiricalCdf,
+    LogUniform,
+    Mixture,
+    PAPER_MIX,
+    Pareto,
+    SizeDistribution,
+    Uniform,
+    WEB_SEARCH,
+)
+from .generator import PoissonFlowGenerator
+from .services import assign_service, service_weights
+
+__all__ = [
+    "DATA_MINING",
+    "EmpiricalCdf",
+    "LogUniform",
+    "Mixture",
+    "PAPER_MIX",
+    "Pareto",
+    "PoissonFlowGenerator",
+    "SizeDistribution",
+    "Uniform",
+    "WEB_SEARCH",
+    "assign_service",
+    "service_weights",
+]

@@ -1,0 +1,28 @@
+"""Service classification.
+
+Datacenter operators isolate services into switch queues via DSCP.  The
+paper classifies all 48×47 host communications "into 8 services evenly";
+we reproduce that with a deterministic hash of the (src, dst) pair, so a
+given communication always lands in the same service (and hence queue) on
+every switch, across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.rng import stable_hash
+
+__all__ = ["assign_service", "service_weights"]
+
+
+def assign_service(src: int, dst: int, n_services: int = 8) -> int:
+    """Deterministic, even mapping of a communication pair to a service."""
+    if n_services < 1:
+        raise ValueError("need at least one service")
+    return stable_hash(src, dst) % n_services
+
+
+def service_weights(n_services: int = 8) -> Sequence[float]:
+    """The paper's queue weights: all services equal."""
+    return [1.0] * n_services

@@ -1,0 +1,70 @@
+"""Table I consistency: the capability matrix must match what the
+implementations actually do."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capabilities import CAPABILITIES, capability_table
+from repro.core.pmsb import PmsbMarker
+from repro.ecn.base import MarkPoint
+from repro.ecn.mq_ecn import MqEcnMarker
+from repro.ecn.tcn import TcnMarker
+from repro.net.link import Link
+from repro.net.port import Port
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.scheduling.wfq import WfqScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def attach(sim, marker, scheduler):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), scheduler, marker)
+
+
+class TestTableI:
+    def test_all_four_schemes_present(self):
+        assert set(CAPABILITIES) == {"MQ-ECN", "TCN", "PMSB", "PMSB(e)"}
+
+    def test_mq_ecn_generic_scheduler_row(self, sim):
+        # Table says no — and the implementation refuses WFQ.
+        assert CAPABILITIES["MQ-ECN"].generic_scheduler is False
+        with pytest.raises(ValueError):
+            attach(sim, MqEcnMarker(rtt=20e-6), WfqScheduler(2))
+
+    def test_mq_ecn_round_based_row(self, sim):
+        assert CAPABILITIES["MQ-ECN"].round_based_scheduler is True
+        attach(sim, MqEcnMarker(rtt=20e-6), DwrrScheduler(2))
+
+    def test_tcn_early_notification_row(self):
+        # Table says no — and the marker cannot be built at enqueue.
+        assert CAPABILITIES["TCN"].early_notification is False
+        assert MarkPoint.ENQUEUE not in TcnMarker(10e-6).supported_points
+
+    def test_pmsb_supports_both_rows(self, sim):
+        caps = CAPABILITIES["PMSB"]
+        assert caps.generic_scheduler and caps.round_based_scheduler
+        attach(sim, PmsbMarker(12), WfqScheduler(2))
+        attach(sim, PmsbMarker(12), DwrrScheduler(2))
+
+    def test_pmsb_early_notification_row(self):
+        assert CAPABILITIES["PMSB"].early_notification is True
+        assert MarkPoint.ENQUEUE in PmsbMarker(12).supported_points
+
+    def test_only_pmsbe_needs_no_switch_change(self):
+        no_mod = [name for name, caps in CAPABILITIES.items()
+                  if caps.no_switch_modification]
+        assert no_mod == ["PMSB(e)"]
+
+    def test_rendered_table(self):
+        text = capability_table()
+        for name in CAPABILITIES:
+            assert name in text
+        assert "Generic scheduler" in text
+        assert "No switch modification" in text
+        assert len(text.splitlines()) == 5

@@ -1,0 +1,180 @@
+"""Unit tests for PMSB (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pmsb import PmsbMarker
+from repro.ecn.base import MarkPoint
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.dwrr import DwrrScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, marker, weights=(1, 1)):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()),
+                DwrrScheduler(len(weights), list(weights)), marker)
+
+
+def load_port(port, queue_loads):
+    """Enqueue ``queue_loads[q]`` packets into each queue."""
+    for queue, count in enumerate(queue_loads):
+        for seq in range(count):
+            port.enqueue(make_data(queue + 1, 0, 1, seq), queue)
+
+
+class TestAlgorithm1:
+    """The exact truth table of Algorithm 1."""
+
+    def test_no_mark_below_port_threshold(self, sim):
+        # Line 1: port_length < port_threshold -> is_mark = false.
+        marker = PmsbMarker(port_threshold_packets=10)
+        port = make_port(sim, marker)
+        load_port(port, [4, 4])  # port 8 < 10, queue 0 at 4 >= 5? no
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is False
+
+    def test_marks_when_both_conditions_hold(self, sim):
+        # Port >= threshold and queue >= its share -> mark.
+        marker = PmsbMarker(port_threshold_packets=10)
+        port = make_port(sim, marker)
+        load_port(port, [6, 6])  # port 12 >= 10; queue 0 at 6 >= 5
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is True
+
+    def test_selective_blindness_protects_victim(self, sim):
+        # Port congested by queue 1, but queue 0 below its share ->
+        # queue 0's packet is spared (line 8).
+        marker = PmsbMarker(port_threshold_packets=10)
+        port = make_port(sim, marker)
+        load_port(port, [0, 20])
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)  # queue 0 occupancy 1 < 5
+        assert probe.ce is False
+        assert marker.victims_protected == 1
+
+    def test_queue_exactly_at_threshold_marks(self, sim):
+        # Line 5 uses >= (not >).
+        marker = PmsbMarker(port_threshold_packets=10)
+        port = make_port(sim, marker)
+        load_port(port, [4, 20])
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)  # queue 0 occupancy 5 == 5 -> mark
+        assert probe.ce is True
+
+    def test_port_exactly_at_threshold_proceeds(self, sim):
+        # Line 1 uses <: port_length == port_threshold does NOT bail out.
+        marker = PmsbMarker(port_threshold_packets=10)
+        port = make_port(sim, marker)
+        load_port(port, [5, 4])  # after probe: port 10, queue 0 -> 6 >= 5
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is True
+
+
+class TestQueueThreshold:
+    def test_equal_weights(self, sim):
+        marker = PmsbMarker(16)
+        port = make_port(sim, marker, weights=(1, 1))
+        assert marker.queue_threshold(port, 0) == 8.0
+
+    def test_weighted_shares(self, sim):
+        marker = PmsbMarker(16)
+        port = make_port(sim, marker, weights=(3, 1))
+        assert marker.queue_threshold(port, 0) == 12.0
+        assert marker.queue_threshold(port, 1) == 4.0
+
+    @given(
+        weights=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
+        threshold=st.floats(1.0, 200.0),
+    )
+    def test_thresholds_sum_to_port_threshold(self, weights, threshold):
+        # Eq. 6: the per-queue shares always partition the port threshold.
+        from repro.sim.engine import Simulator
+        sim = Simulator()
+        marker = PmsbMarker(threshold)
+        port = make_port(sim, marker, weights=tuple(weights))
+        total = sum(marker.queue_threshold(port, q)
+                    for q in range(len(weights)))
+        assert total == pytest.approx(threshold, rel=1e-9)
+
+
+class TestBlindnessScale:
+    def test_scale_zero_degenerates_to_per_port(self, sim):
+        marker = PmsbMarker(10, blindness_scale=0.0)
+        port = make_port(sim, marker)
+        load_port(port, [0, 20])
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is True  # no protection at scale 0
+
+    def test_larger_scale_is_more_conservative(self, sim):
+        marker = PmsbMarker(10, blindness_scale=2.0)
+        port = make_port(sim, marker)
+        load_port(port, [6, 20])  # queue 0 at 6 < 10 (scaled threshold)
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PmsbMarker(-1.0)
+        with pytest.raises(ValueError):
+            PmsbMarker(10.0, blindness_scale=-0.5)
+
+
+class TestMarkPoints:
+    def test_supports_both_points(self):
+        PmsbMarker(10, MarkPoint.ENQUEUE)
+        PmsbMarker(10, MarkPoint.DEQUEUE)
+
+
+class TestAverageOccupancy:
+    """§IV-C: PMSB may compare instantaneous *or* average queue length."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PmsbMarker(10, average_weight=0.0)
+        with pytest.raises(ValueError):
+            PmsbMarker(10, average_weight=1.5)
+
+    def test_instantaneous_by_default(self, sim):
+        marker = PmsbMarker(10)
+        port = make_port(sim, marker)
+        load_port(port, [3, 3])
+        assert marker.port_occupancy(port) == 6.0
+
+    def test_ewma_lags_instantaneous(self, sim):
+        marker = PmsbMarker(10, average_weight=0.1)
+        port = make_port(sim, marker)
+        load_port(port, [3, 3])
+        # The average (stepped once per marking decision) must lag the
+        # instantaneous occupancy while the buffer is filling.
+        assert 0.0 < marker.port_occupancy(port) < port.packet_count
+
+    def test_weight_one_tracks_instantaneous(self, sim):
+        marker = PmsbMarker(10, average_weight=1.0)
+        port = make_port(sim, marker)
+        load_port(port, [4, 4])
+        assert marker.port_occupancy(port) == pytest.approx(8.0)
+
+    def test_averaged_marker_ignores_transient_spike(self, sim):
+        # A small EWMA weight means a sudden burst does not immediately
+        # qualify per-port marking.
+        marker = PmsbMarker(5, average_weight=0.01)
+        port = make_port(sim, marker)
+        load_port(port, [10, 10])  # instantaneous 20 >> 5
+        probe = make_data(9, 0, 1, 0)
+        port.enqueue(probe, 0)
+        assert probe.ce is False

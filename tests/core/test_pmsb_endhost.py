@@ -1,0 +1,60 @@
+"""Unit tests for PMSB(e) (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pmsb_endhost import AcceptAllFilter, RttEcnFilter
+
+
+class TestAcceptAll:
+    def test_accepts_everything(self):
+        filt = AcceptAllFilter()
+        assert filt.accept_mark(0.0)
+        assert filt.accept_mark(1e-3)
+
+
+class TestRttEcnFilter:
+    def test_ignores_mark_below_threshold(self):
+        # Algorithm 2 line 4: cur_rtt < rtt_threshold -> ignore.
+        filt = RttEcnFilter(rtt_threshold=40e-6)
+        assert filt.accept_mark(20e-6) is False
+
+    def test_accepts_mark_at_threshold(self):
+        # Strict <: equality accepts the mark.
+        filt = RttEcnFilter(rtt_threshold=40e-6)
+        assert filt.accept_mark(40e-6) is True
+
+    def test_accepts_mark_above_threshold(self):
+        filt = RttEcnFilter(rtt_threshold=40e-6)
+        assert filt.accept_mark(100e-6) is True
+
+    def test_statistics(self):
+        filt = RttEcnFilter(40e-6)
+        filt.accept_mark(10e-6)
+        filt.accept_mark(10e-6)
+        filt.accept_mark(50e-6)
+        assert filt.marks_seen == 3
+        assert filt.marks_ignored == 2
+        assert filt.ignore_fraction == pytest.approx(2 / 3)
+
+    def test_ignore_fraction_without_traffic(self):
+        assert RttEcnFilter(40e-6).ignore_fraction == 0.0
+
+    def test_zero_threshold_accepts_everything(self):
+        filt = RttEcnFilter(0.0)
+        assert filt.accept_mark(0.0)
+        assert filt.accept_mark(1e-9)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RttEcnFilter(-1e-6)
+
+    @given(
+        threshold=st.floats(min_value=0.0, max_value=1e-3),
+        rtt=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    def test_decision_matches_algorithm_2(self, threshold, rtt):
+        filt = RttEcnFilter(threshold)
+        assert filt.accept_mark(rtt) == (rtt >= threshold)

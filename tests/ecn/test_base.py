@@ -1,0 +1,90 @@
+"""Unit tests for the marker base class and mark-point gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.base import Marker, MarkPoint, NullMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class AlwaysMark(Marker):
+    def decide(self, port, queue_index, packet):
+        return True
+
+
+class Sink:
+    name = "sink"
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def run_one_packet(sim, marker, ect=True):
+    sink = Sink()
+    port = Port(sim, Link(sim, 1e9, 1e-6, sink), FifoScheduler(1), marker)
+    port.enqueue(make_data(1, 0, 1, 0, ect=ect), 0)
+    sim.run()
+    return sink.received[0]
+
+
+class TestMarkPointGating:
+    def test_enqueue_point_marks(self, sim):
+        packet = run_one_packet(sim, AlwaysMark(MarkPoint.ENQUEUE))
+        assert packet.ce is True
+
+    def test_dequeue_point_marks(self, sim):
+        packet = run_one_packet(sim, AlwaysMark(MarkPoint.DEQUEUE))
+        assert packet.ce is True
+
+    def test_non_ect_never_marked(self, sim):
+        packet = run_one_packet(sim, AlwaysMark(MarkPoint.ENQUEUE), ect=False)
+        assert packet.ce is False
+
+    def test_unsupported_point_rejected(self):
+        class DequeueOnly(Marker):
+            supported_points = frozenset({MarkPoint.DEQUEUE})
+
+            def decide(self, port, queue_index, packet):
+                return True
+
+        with pytest.raises(ValueError):
+            DequeueOnly(MarkPoint.ENQUEUE)
+        DequeueOnly(MarkPoint.DEQUEUE)  # must not raise
+
+
+class TestCounters:
+    def test_mark_fraction(self, sim):
+        class MarkEveryOther(Marker):
+            def __init__(self):
+                super().__init__(MarkPoint.ENQUEUE)
+                self._flip = False
+
+            def decide(self, port, queue_index, packet):
+                self._flip = not self._flip
+                return self._flip
+
+        marker = MarkEveryOther()
+        sink = Sink()
+        port = Port(sim, Link(sim, 1e9, 1e-6, sink), FifoScheduler(1), marker)
+        for seq in range(10):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        sim.run()
+        assert marker.packets_seen == 10
+        assert marker.packets_marked == 5
+        assert marker.mark_fraction == 0.5
+
+    def test_mark_fraction_with_no_traffic(self):
+        assert NullMarker().mark_fraction == 0.0
+
+
+class TestNullMarker:
+    def test_never_marks(self, sim):
+        packet = run_one_packet(sim, NullMarker())
+        assert packet.ce is False

@@ -1,0 +1,84 @@
+"""Unit tests for the Choudhury–Hahne dynamic-threshold pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.service_pool import BufferPool, DynamicThresholdPool
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def pooled_port(sim, pool):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(1),
+                pool=pool)
+
+
+class TestDynamicThreshold:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicThresholdPool(0)
+        with pytest.raises(ValueError):
+            DynamicThresholdPool(100, alpha=0.0)
+
+    def test_threshold_shrinks_as_pool_fills(self):
+        pool = DynamicThresholdPool(100, alpha=1.0)
+        assert pool.threshold() == 100.0
+        for _ in range(40):
+            pool.add(1500)
+        assert pool.threshold() == 60.0
+
+    def test_single_port_self_limits(self, sim):
+        # With alpha=1, a lone hog converges to half the buffer:
+        # occupancy == alpha * (capacity - occupancy).
+        pool = DynamicThresholdPool(100, alpha=1.0)
+        port = pooled_port(sim, pool)
+        admitted = 0
+        for seq in range(100):
+            if port.enqueue(make_data(1, 0, 1, seq), 0):
+                admitted += 1
+        assert 48 <= admitted <= 52
+
+    def test_alpha_controls_the_limit(self, sim):
+        # alpha/(1+alpha) of the buffer: alpha=4 -> 80%.
+        pool = DynamicThresholdPool(100, alpha=4.0)
+        port = pooled_port(sim, pool)
+        admitted = sum(
+            1 for seq in range(100) if port.enqueue(make_data(1, 0, 1, seq), 0)
+        )
+        assert 76 <= admitted <= 84
+
+    def test_second_port_still_admitted_after_hog(self, sim):
+        # The defining property: the hog's self-limit leaves headroom.
+        pool = DynamicThresholdPool(100, alpha=1.0)
+        hog = pooled_port(sim, pool)
+        other = pooled_port(sim, pool)
+        for seq in range(100):
+            hog.enqueue(make_data(1, 0, 1, seq), 0)
+        assert other.enqueue(make_data(2, 0, 1, 0), 0)
+
+    def test_complete_sharing_does_not_leave_headroom(self, sim):
+        # Contrast: a plain capped pool lets the hog take everything.
+        pool = BufferPool(100)
+        hog = pooled_port(sim, pool)
+        other = pooled_port(sim, pool)
+        for seq in range(100):
+            hog.enqueue(make_data(1, 0, 1, seq), 0)
+        assert not other.enqueue(make_data(2, 0, 1, 0), 0)
+
+    def test_rejections_counted(self, sim):
+        pool = DynamicThresholdPool(10, alpha=1.0)
+        port = pooled_port(sim, pool)
+        for seq in range(20):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        assert pool.rejections > 0
+        assert port.drops == pool.rejections

@@ -1,0 +1,113 @@
+"""Unit tests for the MQ-ECN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.mq_ecn import MqEcnMarker
+from repro.net.link import Link
+from repro.net.packet import MTU_BYTES, make_data
+from repro.net.port import Port
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.scheduling.wfq import WfqScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+RATE = 1e9
+RTT = 19.2e-6  # drain time of 16 MTUs at 1 Gbps... scaled below
+
+
+def dwrr_port(sim, marker, n_queues=2, weights=None, rate=RATE):
+    return Port(sim, Link(sim, rate, 1e-6, Sink()),
+                DwrrScheduler(n_queues, weights), marker)
+
+
+class TestAttachment:
+    def test_requires_round_based_scheduler(self, sim):
+        marker = MqEcnMarker(rtt=RTT)
+        with pytest.raises(ValueError):
+            Port(sim, Link(sim, RATE, 1e-6, Sink()), WfqScheduler(2), marker)
+
+    def test_rejects_fifo_too(self, sim):
+        marker = MqEcnMarker(rtt=RTT)
+        with pytest.raises(ValueError):
+            Port(sim, Link(sim, RATE, 1e-6, Sink()), FifoScheduler(1), marker)
+
+    def test_accepts_dwrr(self, sim):
+        dwrr_port(sim, MqEcnMarker(rtt=RTT))
+
+    def test_default_t_idle_is_mtu_drain(self, sim):
+        marker = MqEcnMarker(rtt=RTT)
+        dwrr_port(sim, marker)
+        assert marker.t_idle == pytest.approx(MTU_BYTES * 8 / RATE)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MqEcnMarker(rtt=0.0)
+        with pytest.raises(ValueError):
+            MqEcnMarker(rtt=RTT, beta=1.0)
+
+
+class TestThresholdDynamics:
+    def test_fresh_port_uses_standard_threshold(self, sim):
+        # T_round = 0 → K_i = C × RTT × λ for every queue.
+        marker = MqEcnMarker(rtt=RTT, lam=1.0)
+        port = dwrr_port(sim, marker)
+        expected = (RATE / 8.0) * RTT
+        assert marker.queue_threshold_bytes(port, 0) == pytest.approx(expected)
+
+    def test_busy_round_shrinks_threshold(self, sim):
+        marker = MqEcnMarker(rtt=RTT, lam=1.0, beta=0.0)  # no smoothing
+        port = dwrr_port(sim, marker)
+        # Backlog both queues and drain for a while: T_round becomes the
+        # time to serve both quanta, so each queue's threshold halves.
+        for seq in range(30):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+            port.enqueue(make_data(2, 0, 1, seq), 1)
+        sim.run(until=40 * MTU_BYTES * 8 / RATE)
+        standard = (RATE / 8.0) * RTT
+        threshold = marker.queue_threshold_bytes(port, 0)
+        assert threshold == pytest.approx(standard / 2.0, rel=0.2)
+
+    def test_threshold_respects_weights(self, sim):
+        marker = MqEcnMarker(rtt=RTT, lam=1.0, beta=0.0)
+        port = dwrr_port(sim, marker, weights=[3, 1])
+        for seq in range(60):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+            port.enqueue(make_data(2, 0, 1, seq), 1)
+        sim.run(until=60 * MTU_BYTES * 8 / RATE)
+        k0 = marker.queue_threshold_bytes(port, 0)
+        k1 = marker.queue_threshold_bytes(port, 1)
+        assert k0 / k1 == pytest.approx(3.0, rel=0.25)
+
+    def test_idle_resets_t_round(self, sim):
+        marker = MqEcnMarker(rtt=RTT, lam=1.0, beta=0.0)
+        port = dwrr_port(sim, marker)
+        for seq in range(20):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+            port.enqueue(make_data(2, 0, 1, seq), 1)
+        sim.run()  # drain fully
+        assert marker.t_round > 0.0
+        # A long idle gap, then fresh traffic: the estimate must reset so
+        # the first packets see the permissive standard threshold.
+        sim.run(until=sim.now + 1e-3)
+        port.enqueue(make_data(3, 0, 1, 0), 0)
+        sim.run(until=sim.now + 2 * MTU_BYTES * 8 / RATE)
+        assert marker.t_round == 0.0
+
+    def test_marks_when_queue_exceeds_dynamic_threshold(self, sim):
+        marker = MqEcnMarker(rtt=RTT, lam=1.0)
+        port = dwrr_port(sim, marker)
+        standard_packets = int((RATE / 8.0) * RTT / MTU_BYTES)
+        packets = [make_data(1, 0, 1, seq) for seq in range(standard_packets + 2)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        assert packets[-1].ce is True
+        assert packets[0].ce is False

@@ -1,0 +1,53 @@
+"""Unit tests for per-port marking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.per_port import PerPortMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, marker, n_queues=2):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(n_queues),
+                marker)
+
+
+class TestPerPortMarker:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PerPortMarker(-1.0)
+
+    def test_below_threshold_no_mark(self, sim):
+        port = make_port(sim, PerPortMarker(3.0))
+        packets = [make_data(1, 0, 1, s) for s in range(2)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        assert not any(p.ce for p in packets)
+
+    def test_marks_at_threshold(self, sim):
+        port = make_port(sim, PerPortMarker(3.0))
+        packets = [make_data(1, 0, 1, s) for s in range(3)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        assert packets[2].ce is True
+
+    def test_counts_all_queues_together(self, sim):
+        # The defining property: a packet of an *empty* queue is marked
+        # because other queues fill the port — the victim-flow effect.
+        port = make_port(sim, PerPortMarker(3.0))
+        for seq in range(3):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        victim = make_data(2, 0, 1, 0)
+        port.enqueue(victim, 1)
+        assert victim.ce is True

@@ -1,0 +1,77 @@
+"""Unit tests for per-queue marking and its threshold helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.per_queue import (PerQueueMarker, fractional_thresholds,
+                                 standard_thresholds)
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, marker, n_queues=2):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(n_queues),
+                marker)
+
+
+class TestThresholdHelpers:
+    def test_standard(self):
+        assert standard_thresholds(3, 16) == [16.0, 16.0, 16.0]
+
+    def test_fractional_equal_weights(self):
+        assert fractional_thresholds([1, 1], 16) == [8.0, 8.0]
+
+    def test_fractional_weighted(self):
+        assert fractional_thresholds([3, 1], 16) == [12.0, 4.0]
+
+    def test_fractional_rejects_zero_weight_sum(self):
+        with pytest.raises(ValueError):
+            fractional_thresholds([], 16)
+
+
+class TestPerQueueMarker:
+    def test_scalar_threshold_applies_to_all_queues(self):
+        marker = PerQueueMarker(4.0)
+        assert marker.threshold(0) == 4.0
+        assert marker.threshold(7) == 4.0
+
+    def test_vector_threshold(self):
+        marker = PerQueueMarker([2.0, 8.0])
+        assert marker.threshold(0) == 2.0
+        assert marker.threshold(1) == 8.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PerQueueMarker([-1.0])
+
+    def test_marks_only_its_own_queue(self, sim):
+        marker = PerQueueMarker([2.0, 2.0])
+        port = make_port(sim, marker)
+        # Fill queue 0 past its threshold.
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        port.enqueue(make_data(1, 0, 1, 1), 0)
+        # Queue 1 is empty: its packet must not be marked even though the
+        # port holds more than 2 packets in total.
+        probe = make_data(2, 0, 1, 0)
+        port.enqueue(probe, 1)
+        assert probe.ce is False
+
+    def test_marks_when_queue_at_threshold(self, sim):
+        marker = PerQueueMarker([2.0])
+        port = make_port(sim, marker, n_queues=1)
+        first = make_data(1, 0, 1, 0)
+        second = make_data(1, 0, 1, 1)
+        port.enqueue(first, 0)   # occupancy 1 < 2
+        port.enqueue(second, 0)  # occupancy 2 >= 2
+        assert first.ce is False
+        assert second.ce is True

@@ -1,0 +1,122 @@
+"""Unit tests for the RED marker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.base import MarkPoint
+from repro.ecn.red import RedMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, marker, n_queues=1):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(n_queues),
+                marker)
+
+
+class TestValidation:
+    def test_threshold_order(self):
+        with pytest.raises(ValueError):
+            RedMarker(10, 5)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            RedMarker(5, 10, max_probability=0.0)
+        with pytest.raises(ValueError):
+            RedMarker(5, 10, max_probability=1.5)
+
+    def test_weight_range(self):
+        with pytest.raises(ValueError):
+            RedMarker(5, 10, weight=0.0)
+        with pytest.raises(ValueError):
+            RedMarker(5, 10, weight=2.0)
+
+
+class TestDctcpProfile:
+    def test_is_step_function(self, sim):
+        marker = RedMarker.dctcp_profile(threshold_packets=3)
+        port = make_port(sim, marker)
+        packets = [make_data(1, 0, 1, s) for s in range(5)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        # Occupancy 1, 2 below threshold; 3, 4, 5 at/above.
+        assert [p.ce for p in packets] == [False, False, True, True, True]
+
+    def test_instantaneous_average(self, sim):
+        marker = RedMarker.dctcp_profile(threshold_packets=3)
+        port = make_port(sim, marker)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert marker.average_queue == 1.0  # weight 1: avg == instantaneous
+
+
+class TestGeneralRed:
+    def test_below_min_never_marks(self, sim):
+        marker = RedMarker(5, 10, weight=1.0, max_probability=1.0)
+        port = make_port(sim, marker)
+        packets = [make_data(1, 0, 1, s) for s in range(4)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        assert not any(p.ce for p in packets)
+
+    def test_above_max_always_marks(self, sim):
+        marker = RedMarker(1, 3, weight=1.0, max_probability=0.5)
+        port = make_port(sim, marker)
+        packets = [make_data(1, 0, 1, s) for s in range(8)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        # Once occupancy >= 3, every packet marks.
+        assert all(p.ce for p in packets[3:])
+
+    def test_linear_region_marks_probabilistically(self, sim):
+        marker = RedMarker(2, 50, weight=1.0, max_probability=0.3, seed=7)
+        port = make_port(sim, marker, n_queues=1)
+        marked = 0
+        total = 400
+        # Hold occupancy mid-region by enqueueing without draining.
+        for seq in range(total):
+            packet = make_data(1, 0, 1, seq)
+            port.enqueue(packet, 0)
+            marked += packet.ce
+        assert 0 < marked < total  # some but not all
+
+    def test_ewma_smooths_occupancy(self, sim):
+        marker = RedMarker(5, 10, weight=0.1)
+        port = make_port(sim, marker)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert marker.average_queue == pytest.approx(0.1)
+
+    def test_per_queue_mode(self, sim):
+        marker = RedMarker.dctcp_profile(threshold_packets=2, per_queue=True)
+        port = make_port(sim, marker, n_queues=2)
+        # Fill queue 0; queue 1's packet sees its own (short) queue.
+        for seq in range(4):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        probe = make_data(2, 0, 1, 0)
+        port.enqueue(probe, 1)
+        assert probe.ce is False
+
+    def test_deterministic_given_seed(self, sim):
+        def run(seed):
+            from repro.sim.engine import Simulator
+            local_sim = Simulator()
+            marker = RedMarker(2, 20, weight=1.0, max_probability=0.2,
+                               seed=seed)
+            port = make_port(local_sim, marker)
+            flags = []
+            for seq in range(50):
+                packet = make_data(1, 0, 1, seq)
+                port.enqueue(packet, 0)
+                flags.append(packet.ce)
+            return flags
+
+        assert run(3) == run(3)

@@ -1,0 +1,81 @@
+"""Unit tests for the shared buffer pool and pool marking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.service_pool import BufferPool, ServicePoolMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def pooled_port(sim, pool, marker=None):
+    return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(1),
+                marker, pool=pool)
+
+
+class TestBufferPool:
+    def test_add_remove(self):
+        pool = BufferPool()
+        pool.add(1000)
+        pool.add(500)
+        assert pool.packet_count == 2
+        assert pool.byte_count == 1500
+        pool.remove(1000)
+        assert pool.packet_count == 1
+
+    def test_negative_accounting_guard(self):
+        pool = BufferPool()
+        pool.add(100)
+        pool.remove(100)
+        with pytest.raises(RuntimeError):
+            pool.remove(100)
+
+    def test_capacity(self):
+        pool = BufferPool(capacity_packets=1)
+        assert not pool.is_full
+        pool.add(100)
+        assert pool.is_full
+
+    def test_unbounded_never_full(self):
+        pool = BufferPool()
+        for _ in range(100):
+            pool.add(1)
+        assert not pool.is_full
+
+
+class TestServicePoolMarker:
+    def test_marks_on_pool_occupancy_across_ports(self, sim):
+        # Traffic through port A pushes the pool over the threshold; a
+        # packet through port B gets marked — the cross-port interference
+        # the paper predicts for per-service-pool marking.
+        pool = BufferPool()
+        marker_b = ServicePoolMarker(pool, threshold_packets=3.0)
+        port_a = pooled_port(sim, pool)
+        port_b = pooled_port(sim, pool, marker_b)
+        for seq in range(3):
+            port_a.enqueue(make_data(1, 0, 1, seq), 0)
+        victim = make_data(2, 0, 1, 0)
+        port_b.enqueue(victim, 0)
+        assert victim.ce is True
+
+    def test_no_mark_below_threshold(self, sim):
+        pool = BufferPool()
+        marker = ServicePoolMarker(pool, threshold_packets=5.0)
+        port = pooled_port(sim, pool, marker)
+        packet = make_data(1, 0, 1, 0)
+        port.enqueue(packet, 0)
+        assert packet.ce is False
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ServicePoolMarker(BufferPool(), -1.0)

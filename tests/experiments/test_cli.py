@@ -1,0 +1,77 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_every_command_registered(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_sweep_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--scheduler", "wfq", "--loads", "0.3", "0.5",
+             "--seed", "7"]
+        )
+        assert args.scheduler == "wfq"
+        assert args.loads == [0.3, 0.5]
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "theorem" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_fig3_runs_and_exports(self, tmp_path, capsys):
+        path = str(tmp_path / "fig3.json")
+        assert main(["fig3", "--duration", "0.006", "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "queue 1" in out
+        payload = json.loads(open(path).read())
+        assert payload["queue2_gbps"] > payload["queue1_gbps"]
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "PMSB(e)" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--duration", "0.006"]) == 0
+        assert "q1" in capsys.readouterr().out
+
+    def test_pool(self, capsys):
+        assert main(["pool", "--duration", "0.006"]) == 0
+        assert "port A" in capsys.readouterr().out
+
+    def test_theorem_csv_export(self, tmp_path, capsys):
+        path = str(tmp_path / "theorem.csv")
+        assert main(["theorem", "--duration", "0.006", "--csv", path]) == 0
+        with open(path) as handle:
+            header = handle.readline()
+        assert "utilization" in header
+
+
+class TestNewCommands:
+    def test_burst_and_transports_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["burst"]).command == "burst"
+        assert parser.parse_args(["transports"]).command == "transports"
+
+    def test_transports_runs(self, capsys):
+        assert main(["transports", "--duration", "0.006"]) == 0
+        out = capsys.readouterr().out
+        assert "dctcp" in out and "dcqcn" in out

@@ -1,0 +1,71 @@
+"""Unit tests for FCT collection and size classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.fct import (FctCollector, LARGE_FLOW_MIN_BYTES,
+                               SMALL_FLOW_MAX_BYTES, SizeClass, classify)
+from repro.transport.flow import Flow
+
+
+def record(collector, size_bytes, fct):
+    flow = Flow(src=0, dst=1, size_bytes=size_bytes)
+    collector.on_complete(flow, fct, sender=None)
+
+
+class TestClassify:
+    def test_small(self):
+        assert classify(10_000) is SizeClass.SMALL
+        assert classify(SMALL_FLOW_MAX_BYTES) is SizeClass.SMALL
+
+    def test_medium(self):
+        assert classify(SMALL_FLOW_MAX_BYTES + 1) is SizeClass.MEDIUM
+        assert classify(LARGE_FLOW_MIN_BYTES - 1) is SizeClass.MEDIUM
+
+    def test_large(self):
+        assert classify(LARGE_FLOW_MIN_BYTES) is SizeClass.LARGE
+
+
+class TestCollector:
+    def test_records_completions(self):
+        collector = FctCollector()
+        record(collector, 50_000, 1e-3)
+        record(collector, 20_000_000, 10e-3)
+        assert len(collector) == 2
+
+    def test_fcts_by_class(self):
+        collector = FctCollector()
+        record(collector, 50_000, 1e-3)
+        record(collector, 1_000_000, 5e-3)
+        record(collector, 20_000_000, 10e-3)
+        assert collector.fcts(SizeClass.SMALL) == [1e-3]
+        assert collector.fcts(SizeClass.MEDIUM) == [5e-3]
+        assert collector.fcts(SizeClass.LARGE) == [10e-3]
+        assert len(collector.fcts()) == 3
+
+    def test_summary(self):
+        collector = FctCollector()
+        record(collector, 50_000, 1e-3)
+        record(collector, 50_000, 3e-3)
+        assert collector.summary(SizeClass.SMALL).mean == pytest.approx(2e-3)
+
+    def test_summary_by_class_handles_empty(self):
+        collector = FctCollector()
+        record(collector, 50_000, 1e-3)
+        summaries = collector.summary_by_class()
+        assert summaries[SizeClass.SMALL] is not None
+        assert summaries[SizeClass.LARGE] is None
+
+    def test_scaled_boundaries(self):
+        # At size_scale 0.1, a 5 MB flow is "large" (unscaled 50 MB)
+        # and a 9 KB flow is "small" (unscaled 90 KB).
+        collector = FctCollector(size_scale=0.1)
+        record(collector, 5_000_000, 10e-3)
+        record(collector, 9_000, 1e-3)
+        assert collector.fcts(SizeClass.LARGE) == [10e-3]
+        assert collector.fcts(SizeClass.SMALL) == [1e-3]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            FctCollector(size_scale=0.0)

@@ -1,0 +1,83 @@
+"""Unit tests for occupancy traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.queue_trace import QueueOccupancyTrace
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, n_queues=1, bandwidth=1e9):
+    return Port(sim, Link(sim, bandwidth, 1e-6, Sink()),
+                FifoScheduler(n_queues))
+
+
+class TestQueueOccupancyTrace:
+    def test_captures_peak_exactly(self, sim):
+        port = make_port(sim)
+        trace = QueueOccupancyTrace(port)
+        for seq in range(5):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        sim.run()
+        assert trace.peak == 5
+
+    def test_empty_trace(self, sim):
+        port = make_port(sim)
+        trace = QueueOccupancyTrace(port)
+        assert trace.peak == 0
+        assert trace.mean() == 0.0
+
+    def test_records_both_directions(self, sim):
+        port = make_port(sim)
+        trace = QueueOccupancyTrace(port)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        # One enqueue event + one dequeue event.
+        assert len(trace.times) == 2
+        assert trace.occupancy[-1] == 0
+
+    def test_peak_before(self, sim):
+        port = make_port(sim, bandwidth=1e9)
+        trace = QueueOccupancyTrace(port)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        port.enqueue(make_data(1, 0, 1, 1), 0)
+        tx = 1500 * 8 / 1e9
+        sim.run(until=10 * tx)
+        sim.at(10 * tx, port.enqueue, make_data(1, 0, 1, 2), 0)
+        sim.run()
+        assert trace.peak_before(5 * tx) == 2
+
+    def test_single_queue_view(self, sim):
+        port = make_port(sim, n_queues=2)
+        trace = QueueOccupancyTrace(port, queue_index=1)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        port.enqueue(make_data(2, 0, 1, 0), 1)
+        assert trace.peak == 1  # queue 1 never exceeds one packet
+
+    def test_mean_is_time_weighted(self, sim):
+        port = make_port(sim, bandwidth=1e9)
+        trace = QueueOccupancyTrace(port)
+        for seq in range(2):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        sim.run()
+        # Occupancy 2 for one tx time, 1 for the next.
+        assert 1.0 <= trace.mean() <= 2.0
+
+    def test_as_arrays(self, sim):
+        port = make_port(sim)
+        trace = QueueOccupancyTrace(port)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        times, occupancy = trace.as_arrays()
+        assert times.shape == occupancy.shape

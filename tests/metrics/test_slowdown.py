@@ -1,0 +1,68 @@
+"""Unit tests for slowdown metrics and the CDF helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.fct import FctRecord
+from repro.metrics.slowdown import ideal_fct, slowdown_summary, slowdowns
+from repro.metrics.stats import empirical_cdf
+from repro.transport.base import PAYLOAD_BYTES
+
+
+class TestIdealFct:
+    def test_single_packet(self):
+        value = ideal_fct(1000, link_rate=10e9, base_rtt=20e-6)
+        assert value == pytest.approx(20e-6 + 1500 * 8 / 10e9)
+
+    def test_scales_with_size(self):
+        small = ideal_fct(PAYLOAD_BYTES, 10e9, 20e-6)
+        large = ideal_fct(100 * PAYLOAD_BYTES, 10e9, 20e-6)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_fct(1000, 0, 20e-6)
+        with pytest.raises(ValueError):
+            ideal_fct(1000, 10e9, -1e-6)
+
+
+class TestSlowdowns:
+    def _record(self, size, fct):
+        return FctRecord(flow_id=1, size_bytes=size, service=0,
+                         start_time=0.0, fct=fct)
+
+    def test_ideal_flow_has_slowdown_one(self):
+        ideal = ideal_fct(10_000, 10e9, 20e-6)
+        records = [self._record(10_000, ideal)]
+        assert slowdowns(records, 10e9, 20e-6) == [pytest.approx(1.0)]
+
+    def test_congested_flow_above_one(self):
+        ideal = ideal_fct(10_000, 10e9, 20e-6)
+        records = [self._record(10_000, 3 * ideal)]
+        assert slowdowns(records, 10e9, 20e-6)[0] == pytest.approx(3.0)
+
+    def test_summary(self):
+        ideal = ideal_fct(10_000, 10e9, 20e-6)
+        records = [self._record(10_000, ideal),
+                   self._record(10_000, 2 * ideal)]
+        summary = slowdown_summary(records, 10e9, 20e-6)
+        assert summary.mean == pytest.approx(1.5)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_normalized(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ps.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        xs, ps = empirical_cdf(rng.random(100))
+        assert (np.diff(xs) >= 0).all()
+        assert (np.diff(ps) > 0).all()

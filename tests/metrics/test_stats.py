@@ -1,0 +1,51 @@
+"""Unit tests for summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import SummaryStats, percentile, summarize
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.mean == stats.p50 == stats.p99 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_scaled(self):
+        stats = summarize([1.0, 3.0]).scaled(1000.0)
+        assert stats.mean == 2000.0
+        assert stats.maximum == 3000.0
+        assert stats.count == 2
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_invariants(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+        # Mean can exceed max by a few ulps (pairwise summation); allow
+        # floating-point slack.
+        slack = 1e-9 * max(1.0, stats.maximum)
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.count == len(values)

@@ -1,0 +1,81 @@
+"""Unit tests for host demultiplexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.packet import make_ack, make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestHost:
+    def test_send_requires_nic(self, sim):
+        host = Host(sim, 0)
+        with pytest.raises(RuntimeError):
+            host.send(make_data(1, 0, 1, 0))
+
+    def test_send_goes_through_nic(self, sim):
+        host = Host(sim, 0)
+        sink = Sink()
+        host.attach_nic(Port(sim, Link(sim, 10e9, 1e-6, sink), FifoScheduler(1)))
+        assert host.send(make_data(1, 0, 1, 0))
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_data_dispatches_to_data_handler(self, sim):
+        host = Host(sim, 1)
+        seen = []
+        host.register_flow(7, data_handler=seen.append)
+        packet = make_data(7, 0, 1, 0)
+        host.receive(packet)
+        assert seen == [packet]
+
+    def test_ack_dispatches_to_ack_handler(self, sim):
+        host = Host(sim, 0)
+        seen = []
+        host.register_flow(7, ack_handler=seen.append)
+        data = make_data(7, 0, 1, 0)
+        data.sent_time = 0.0
+        ack = make_ack(data, 1, False)
+        host.receive(ack)
+        assert seen == [ack]
+
+    def test_unregistered_flow_is_dropped_silently(self, sim):
+        host = Host(sim, 1)
+        host.receive(make_data(99, 0, 1, 0))
+        assert host.received_packets == 1
+
+    def test_unregister(self, sim):
+        host = Host(sim, 1)
+        seen = []
+        host.register_flow(7, data_handler=seen.append)
+        host.unregister_flow(7)
+        host.receive(make_data(7, 0, 1, 0))
+        assert seen == []
+
+    def test_flows_are_independent(self, sim):
+        host = Host(sim, 1)
+        seen_a, seen_b = [], []
+        host.register_flow(1, data_handler=seen_a.append)
+        host.register_flow(2, data_handler=seen_b.append)
+        host.receive(make_data(2, 0, 1, 0))
+        assert seen_a == [] and len(seen_b) == 1
+
+    def test_byte_counter(self, sim):
+        host = Host(sim, 1)
+        host.receive(make_data(1, 0, 1, 0, size=1000))
+        host.receive(make_data(1, 0, 1, 1, size=500))
+        assert host.received_bytes == 1500

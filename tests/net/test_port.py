@@ -1,0 +1,198 @@
+"""Unit tests for the output port: accounting, drops, marking hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecn.base import Marker, MarkPoint
+from repro.ecn.service_pool import BufferPool
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.fifo import FifoScheduler
+
+
+class Sink:
+    name = "sink"
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def make_port(sim, n_queues=1, marker=None, buffer_packets=None, pool=None,
+              bandwidth=1e9, delay=1e-6):
+    sink = Sink()
+    link = Link(sim, bandwidth, delay, sink)
+    port = Port(sim, link, FifoScheduler(n_queues), marker,
+                buffer_packets=buffer_packets, pool=pool)
+    return port, sink
+
+
+class TestAccounting:
+    def test_starts_empty(self, sim):
+        port, _sink = make_port(sim)
+        assert port.packet_count == 0
+        assert port.byte_count == 0
+        assert not port.busy
+
+    def test_enqueue_counts_packets_and_bytes(self, sim):
+        port, _sink = make_port(sim, n_queues=2)
+        port.enqueue(make_data(1, 0, 1, 0, size=1000), 0)
+        port.enqueue(make_data(1, 0, 1, 1, size=500), 1)
+        assert port.packet_count == 2
+        assert port.byte_count == 1500
+        assert port.queue_packet_count(0) == 1
+        assert port.queue_byte_count(1) == 500
+
+    def test_packet_occupies_buffer_until_fully_serialized(self, sim):
+        # Store-and-forward: occupancy drops only at transmission end.
+        port, _sink = make_port(sim, bandwidth=1e9)
+        packet = make_data(1, 0, 1, 0, size=1500)
+        port.enqueue(packet, 0)
+        tx_time = 1500 * 8 / 1e9
+        sim.run(until=tx_time * 0.9)
+        assert port.packet_count == 1  # still serializing
+        sim.run(until=tx_time * 1.1)
+        assert port.packet_count == 0
+
+    def test_delivery_after_tx_plus_propagation(self, sim):
+        port, sink = make_port(sim, bandwidth=1e9, delay=5e-6)
+        port.enqueue(make_data(1, 0, 1, 0, size=1500), 0)
+        total = 1500 * 8 / 1e9 + 5e-6
+        sim.run(until=total * 0.99)
+        assert sink.received == []
+        sim.run(until=total * 1.01)
+        assert len(sink.received) == 1
+
+    def test_back_to_back_serialization(self, sim):
+        port, sink = make_port(sim, bandwidth=1e9, delay=0.0)
+        for seq in range(3):
+            port.enqueue(make_data(1, 0, 1, seq, size=1500), 0)
+        tx_time = 1500 * 8 / 1e9
+        sim.run()
+        assert len(sink.received) == 3
+        assert sim.now == pytest.approx(3 * tx_time)
+
+    def test_tx_counters(self, sim):
+        port, _sink = make_port(sim)
+        port.enqueue(make_data(1, 0, 1, 0, size=1000), 0)
+        sim.run()
+        assert port.tx_packets == 1
+        assert port.tx_bytes == 1000
+        assert port.queue_tx_bytes[0] == 1000
+
+
+class TestDropTail:
+    def test_drops_when_full(self, sim):
+        port, _sink = make_port(sim, buffer_packets=2)
+        admitted = [port.enqueue(make_data(1, 0, 1, s), 0) for s in range(3)]
+        assert admitted == [True, True, False]
+        assert port.drops == 1
+        assert port.queue_drops[0] == 1
+
+    def test_unbounded_buffer_never_drops(self, sim):
+        port, _sink = make_port(sim)
+        for seq in range(100):
+            assert port.enqueue(make_data(1, 0, 1, seq), 0)
+        assert port.drops == 0
+
+    def test_space_freed_after_serialization(self, sim):
+        port, _sink = make_port(sim, buffer_packets=1, bandwidth=1e9)
+        assert port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert not port.enqueue(make_data(1, 0, 1, 1), 0)
+        sim.run()  # first packet leaves
+        assert port.enqueue(make_data(1, 0, 1, 2), 0)
+
+
+class RecordingMarker(Marker):
+    """Captures the occupancy the marker saw at each hook."""
+
+    def __init__(self, mark_point=MarkPoint.ENQUEUE, decision=False):
+        super().__init__(mark_point)
+        self.decision = decision
+        self.seen = []
+
+    def decide(self, port, queue_index, packet):
+        self.seen.append((self.mark_point.value, port.packet_count))
+        return self.decision
+
+
+class TestMarkingHooks:
+    def test_enqueue_marker_sees_occupancy_including_packet(self, sim):
+        marker = RecordingMarker(MarkPoint.ENQUEUE)
+        port, _sink = make_port(sim, marker=marker)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert marker.seen == [("enqueue", 1)]
+
+    def test_dequeue_marker_sees_occupancy_including_packet(self, sim):
+        marker = RecordingMarker(MarkPoint.DEQUEUE)
+        port, _sink = make_port(sim, marker=marker)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert marker.seen == [("dequeue", 1)]
+
+    def test_marking_sets_ce(self, sim):
+        marker = RecordingMarker(MarkPoint.ENQUEUE, decision=True)
+        port, sink = make_port(sim, marker=marker)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        assert sink.received[0].ce is True
+        assert marker.packets_marked == 1
+
+    def test_non_ect_packets_never_marked(self, sim):
+        marker = RecordingMarker(MarkPoint.ENQUEUE, decision=True)
+        port, sink = make_port(sim, marker=marker)
+        port.enqueue(make_data(1, 0, 1, 0, ect=False), 0)
+        sim.run()
+        assert sink.received[0].ce is False
+        assert marker.packets_seen == 0
+
+    def test_enqueue_timestamp_is_set(self, sim):
+        port, _sink = make_port(sim)
+        packet = make_data(1, 0, 1, 0)
+        sim.at(0.5, port.enqueue, packet, 0)
+        sim.run()
+        assert packet.enqueue_time == 0.5
+
+
+class TestListeners:
+    def test_dequeue_listener_fires_at_wire_completion(self, sim):
+        port, _sink = make_port(sim, bandwidth=1e9)
+        events = []
+        port.dequeue_listeners.append(
+            lambda p, q, pkt: events.append((sim.now, q, pkt.seq))
+        )
+        port.enqueue(make_data(1, 0, 1, 7), 0)
+        sim.run()
+        assert len(events) == 1
+        assert events[0][0] == pytest.approx(1500 * 8 / 1e9)
+        assert events[0][1:] == (0, 7)
+
+    def test_enqueue_listener(self, sim):
+        port, _sink = make_port(sim)
+        events = []
+        port.enqueue_listeners.append(lambda p, q, pkt: events.append(pkt.seq))
+        port.enqueue(make_data(1, 0, 1, 3), 0)
+        assert events == [3]
+
+
+class TestPoolIntegration:
+    def test_pool_accounting(self, sim):
+        pool = BufferPool()
+        port, _sink = make_port(sim, pool=pool)
+        port.enqueue(make_data(1, 0, 1, 0, size=1000), 0)
+        assert pool.packet_count == 1
+        assert pool.byte_count == 1000
+        sim.run()
+        assert pool.packet_count == 0
+        assert pool.byte_count == 0
+
+    def test_full_pool_rejects(self, sim):
+        pool = BufferPool(capacity_packets=1)
+        port_a, _ = make_port(sim, pool=pool)
+        port_b, _ = make_port(sim, pool=pool)
+        assert port_a.enqueue(make_data(1, 0, 1, 0), 0)
+        assert not port_b.enqueue(make_data(2, 0, 1, 0), 0)
+        assert port_b.drops == 1

@@ -1,0 +1,68 @@
+"""Property tests on port buffer accounting.
+
+Random admit/drain interleavings over a multi-queue port must keep the
+packet/byte counters exact, never negative, and consistent between the
+port and per-queue views.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.sim.engine import Simulator
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+operations = st.lists(
+    st.one_of(
+        # (enqueue, queue, size)
+        st.tuples(st.just("enq"), st.integers(0, 2),
+                  st.sampled_from([500, 1000, 1500])),
+        # drain for one transmission slot
+        st.tuples(st.just("run"), st.just(0), st.just(0)),
+    ),
+    min_size=1, max_size=100,
+)
+
+
+@given(ops=operations, buffer_packets=st.one_of(st.none(),
+                                                st.integers(2, 30)))
+def test_accounting_invariants(ops, buffer_packets):
+    sim = Simulator()
+    port = Port(sim, Link(sim, 1e9, 1e-6, Sink()), DwrrScheduler(3),
+                buffer_packets=buffer_packets)
+    tx_slot = 1500 * 8 / 1e9
+    admitted = 0
+    for uid, (op, queue, size) in enumerate(ops):
+        if op == "enq":
+            if port.enqueue(make_data(1, 0, 1, uid, size=size), queue):
+                admitted += 1
+        else:
+            sim.run(until=sim.now + tx_slot)
+
+        # Invariants hold at every step.
+        assert port.packet_count >= 0
+        assert port.byte_count >= 0
+        per_queue = sum(port.queue_packet_count(q) for q in range(3))
+        assert per_queue == port.packet_count
+        per_queue_bytes = sum(port.queue_byte_count(q) for q in range(3))
+        assert per_queue_bytes == port.byte_count
+        if buffer_packets is not None:
+            assert port.packet_count <= buffer_packets
+
+    # Drain completely: everything admitted is transmitted, counters zero.
+    sim.run(until=sim.now + (admitted + 2) * tx_slot)
+    assert port.packet_count == 0
+    assert port.byte_count == 0
+    assert port.tx_packets == admitted
+    assert port.drops == len([o for o in ops if o[0] == "enq"]) - admitted

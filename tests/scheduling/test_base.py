@@ -1,0 +1,51 @@
+"""Unit tests for the scheduler base class and weight validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import make_data
+from repro.scheduling.base import Scheduler, normalize_weights
+from repro.scheduling.fifo import FifoScheduler
+
+
+class TestNormalizeWeights:
+    def test_default_is_equal(self):
+        assert normalize_weights(3, None) == [1.0, 1.0, 1.0]
+
+    def test_explicit_weights(self):
+        assert normalize_weights(2, [2, 3]) == [2.0, 3.0]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_weights(2, [1.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_weights(2, [1.0, 0.0])
+        with pytest.raises(ValueError):
+            normalize_weights(2, [1.0, -1.0])
+
+
+class TestBase:
+    def test_needs_a_queue(self):
+        with pytest.raises(ValueError):
+            FifoScheduler(0)
+
+    def test_len_and_empty(self):
+        scheduler = FifoScheduler(2)
+        assert scheduler.is_empty and len(scheduler) == 0
+        scheduler.enqueue(0, make_data(1, 0, 1, 0))
+        assert not scheduler.is_empty and len(scheduler) == 1
+
+    def test_queue_len(self):
+        scheduler = FifoScheduler(2)
+        scheduler.enqueue(1, make_data(1, 0, 1, 0))
+        assert scheduler.queue_len(0) == 0
+        assert scheduler.queue_len(1) == 1
+
+    def test_base_dequeue_not_implemented(self):
+        scheduler = Scheduler(1)
+        scheduler.enqueue(0, make_data(1, 0, 1, 0))
+        with pytest.raises(NotImplementedError):
+            scheduler.dequeue()

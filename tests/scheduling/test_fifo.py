@@ -1,0 +1,52 @@
+"""Unit tests for FIFO scheduling."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.net.packet import make_data
+from repro.scheduling.fifo import FifoScheduler
+
+
+class TestFifo:
+    def test_empty_dequeue_returns_none(self):
+        assert FifoScheduler(1).dequeue() is None
+
+    def test_arrival_order_single_queue(self):
+        scheduler = FifoScheduler(1)
+        packets = [make_data(1, 0, 1, seq) for seq in range(5)]
+        for packet in packets:
+            scheduler.enqueue(0, packet)
+        out = [scheduler.dequeue()[1] for _ in range(5)]
+        assert [p.seq for p in out] == [0, 1, 2, 3, 4]
+
+    def test_arrival_order_across_queues(self):
+        scheduler = FifoScheduler(3)
+        scheduler.enqueue(2, make_data(1, 0, 1, 0))
+        scheduler.enqueue(0, make_data(1, 0, 1, 1))
+        scheduler.enqueue(1, make_data(1, 0, 1, 2))
+        order = [scheduler.dequeue() for _ in range(3)]
+        assert [q for q, _p in order] == [2, 0, 1]
+        assert [p.seq for _q, p in order] == [0, 1, 2]
+
+    def test_accounting_after_drain(self):
+        scheduler = FifoScheduler(2)
+        scheduler.enqueue(0, make_data(1, 0, 1, 0))
+        scheduler.enqueue(1, make_data(1, 0, 1, 1))
+        scheduler.dequeue()
+        scheduler.dequeue()
+        assert scheduler.is_empty
+        assert scheduler.dequeue() is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    def test_fifo_is_arrival_order_for_any_pattern(self, queue_choices):
+        scheduler = FifoScheduler(4)
+        for index, queue in enumerate(queue_choices):
+            scheduler.enqueue(queue, make_data(1, 0, 1, index))
+        out = []
+        while True:
+            item = scheduler.dequeue()
+            if item is None:
+                break
+            out.append(item[1].seq)
+        assert out == list(range(len(queue_choices)))

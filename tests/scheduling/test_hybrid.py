@@ -1,0 +1,72 @@
+"""Unit tests for hierarchical SP+WFQ."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import make_data
+from repro.scheduling.hybrid import SpWfqScheduler
+
+
+def fill(scheduler, queue, count, size=1500):
+    for i in range(count):
+        scheduler.enqueue(queue, make_data(1, 0, 1, i, size=size))
+
+
+class TestSpWfq:
+    def test_priority_level_wins_outright(self):
+        scheduler = SpWfqScheduler(3, priorities=[0, 1, 1])
+        fill(scheduler, 1, 2)
+        fill(scheduler, 2, 2)
+        fill(scheduler, 0, 2)
+        order = [scheduler.dequeue()[0] for _ in range(6)]
+        assert order[:2] == [0, 0]
+        assert sorted(order[2:]) == [1, 1, 2, 2]
+
+    def test_wfq_within_level(self):
+        scheduler = SpWfqScheduler(3, priorities=[0, 1, 1], weights=[1, 1, 1])
+        fill(scheduler, 1, 6)
+        fill(scheduler, 2, 6)
+        counts = {1: 0, 2: 0}
+        for _ in range(8):
+            queue, _packet = scheduler.dequeue()
+            counts[queue] += 1
+        assert counts[1] == counts[2] == 4
+
+    def test_weighted_within_level(self):
+        scheduler = SpWfqScheduler(2, priorities=[0, 0], weights=[3, 1])
+        fill(scheduler, 0, 40)
+        fill(scheduler, 1, 40)
+        served = {0: 0, 1: 0}
+        for _ in range(40):
+            queue, packet = scheduler.dequeue()
+            served[queue] += packet.size
+        assert served[0] / served[1] == pytest.approx(3.0, rel=0.25)
+
+    def test_lower_level_resumes_when_high_drains(self):
+        scheduler = SpWfqScheduler(2, priorities=[0, 1])
+        fill(scheduler, 1, 2)
+        fill(scheduler, 0, 1)
+        assert scheduler.dequeue()[0] == 0
+        assert scheduler.dequeue()[0] == 1
+
+    def test_paper_fig13_configuration(self):
+        # Queue 0 strict-high, queues 1/2 equal weights in the low level.
+        scheduler = SpWfqScheduler(3, priorities=[0, 1, 1])
+        fill(scheduler, 0, 3)
+        fill(scheduler, 1, 3)
+        fill(scheduler, 2, 3)
+        order = [scheduler.dequeue()[0] for _ in range(9)]
+        assert order[:3] == [0, 0, 0]
+        assert order[3:].count(1) == 3
+        assert order[3:].count(2) == 3
+
+    def test_priority_length_validated(self):
+        with pytest.raises(ValueError):
+            SpWfqScheduler(3, priorities=[0, 1])
+
+    def test_empty_returns_none(self):
+        assert SpWfqScheduler(2, priorities=[0, 1]).dequeue() is None
+
+    def test_not_round_based(self):
+        assert SpWfqScheduler(2, priorities=[0, 1]).is_round_based is False

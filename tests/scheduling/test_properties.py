@@ -1,0 +1,89 @@
+"""Cross-scheduler property tests.
+
+Invariants every scheduler must satisfy regardless of arrival pattern:
+work conservation (a backlogged scheduler always serves), packet
+conservation (everything enqueued comes out exactly once, per-queue FIFO
+order preserved), and accounting consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import make_data
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.scheduling.hybrid import SpWfqScheduler
+from repro.scheduling.strict_priority import StrictPriorityScheduler
+from repro.scheduling.wfq import WfqScheduler
+from repro.scheduling.wrr import WrrScheduler
+
+N_QUEUES = 3
+
+FACTORIES = {
+    "fifo": lambda: FifoScheduler(N_QUEUES),
+    "sp": lambda: StrictPriorityScheduler(N_QUEUES),
+    "wrr": lambda: WrrScheduler(N_QUEUES, weights=[2, 1, 1]),
+    "dwrr": lambda: DwrrScheduler(N_QUEUES, weights=[2, 1, 1]),
+    "wfq": lambda: WfqScheduler(N_QUEUES, weights=[2, 1, 1]),
+    "sp+wfq": lambda: SpWfqScheduler(N_QUEUES, priorities=[0, 1, 1]),
+}
+
+arrival_pattern = st.lists(
+    st.tuples(st.integers(0, N_QUEUES - 1),
+              st.sampled_from([500, 1000, 1500])),
+    min_size=1, max_size=80,
+)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(pattern=arrival_pattern)
+def test_packet_conservation_and_fifo_per_queue(name, pattern):
+    scheduler = FACTORIES[name]()
+    sent = []
+    for uid, (queue, size) in enumerate(pattern):
+        packet = make_data(1, 0, 1, uid, size=size)
+        scheduler.enqueue(queue, packet)
+        sent.append((queue, uid))
+    served = []
+    while True:
+        item = scheduler.dequeue()
+        if item is None:
+            break
+        served.append((item[0], item[1].seq))
+    # Conservation: exact multiset equality.
+    assert sorted(served) == sorted(sent)
+    # Per-queue FIFO: within each queue, seq order preserved.
+    for queue in range(N_QUEUES):
+        seqs = [seq for q, seq in served if q == queue]
+        assert seqs == sorted(seqs)
+    assert scheduler.is_empty
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(pattern=arrival_pattern)
+def test_work_conservation(name, pattern):
+    """A backlogged scheduler must serve on every dequeue call."""
+    scheduler = FACTORIES[name]()
+    for uid, (queue, size) in enumerate(pattern):
+        scheduler.enqueue(queue, make_data(1, 0, 1, uid, size=size))
+    for _ in range(len(pattern)):
+        assert scheduler.dequeue() is not None
+    assert scheduler.dequeue() is None
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(pattern=arrival_pattern, interleave=st.booleans())
+def test_interleaved_enqueue_dequeue(name, pattern, interleave):
+    """Alternating arrivals and service must not lose or duplicate."""
+    scheduler = FACTORIES[name]()
+    served = 0
+    for uid, (queue, size) in enumerate(pattern):
+        scheduler.enqueue(queue, make_data(1, 0, 1, uid, size=size))
+        if interleave and uid % 2 == 0:
+            if scheduler.dequeue() is not None:
+                served += 1
+    while scheduler.dequeue() is not None:
+        served += 1
+    assert served == len(pattern)

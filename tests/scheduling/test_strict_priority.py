@@ -1,0 +1,57 @@
+"""Unit tests for strict priority scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import make_data
+from repro.scheduling.strict_priority import StrictPriorityScheduler
+
+
+def fill(scheduler, queue, count, tag_base=0):
+    for i in range(count):
+        scheduler.enqueue(queue, make_data(1, 0, 1, tag_base + i))
+
+
+class TestStrictPriority:
+    def test_highest_priority_served_first(self):
+        scheduler = StrictPriorityScheduler(3)
+        fill(scheduler, 2, 2)
+        fill(scheduler, 0, 2)
+        fill(scheduler, 1, 2)
+        order = [scheduler.dequeue()[0] for _ in range(6)]
+        assert order == [0, 0, 1, 1, 2, 2]
+
+    def test_lower_priority_starves_while_higher_backlogged(self):
+        scheduler = StrictPriorityScheduler(2)
+        fill(scheduler, 1, 1)
+        fill(scheduler, 0, 3)
+        assert scheduler.dequeue()[0] == 0
+        fill(scheduler, 0, 1)  # priority 0 keeps arriving
+        order = [scheduler.dequeue()[0] for _ in range(3)]
+        assert order == [0, 0, 0]
+        assert scheduler.dequeue()[0] == 1
+
+    def test_custom_priority_vector(self):
+        scheduler = StrictPriorityScheduler(3, priorities=[2, 0, 1])
+        fill(scheduler, 0, 1)
+        fill(scheduler, 1, 1)
+        fill(scheduler, 2, 1)
+        order = [scheduler.dequeue()[0] for _ in range(3)]
+        assert order == [1, 2, 0]
+
+    def test_fifo_within_a_queue(self):
+        scheduler = StrictPriorityScheduler(2)
+        fill(scheduler, 0, 3)
+        seqs = [scheduler.dequeue()[1].seq for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_priority_length_validated(self):
+        with pytest.raises(ValueError):
+            StrictPriorityScheduler(3, priorities=[0, 1])
+
+    def test_empty_returns_none(self):
+        assert StrictPriorityScheduler(2).dequeue() is None
+
+    def test_not_round_based(self):
+        assert StrictPriorityScheduler(2).is_round_based is False

@@ -1,0 +1,67 @@
+"""Unit tests for weighted round robin."""
+
+from __future__ import annotations
+
+from repro.net.packet import make_data
+from repro.scheduling.wrr import WrrScheduler
+
+
+def fill(scheduler, queue, count):
+    for i in range(count):
+        scheduler.enqueue(queue, make_data(1, 0, 1, i))
+
+
+class TestWrr:
+    def test_round_based(self):
+        assert WrrScheduler(2).is_round_based is True
+
+    def test_equal_weights_alternate(self):
+        scheduler = WrrScheduler(2)
+        fill(scheduler, 0, 4)
+        fill(scheduler, 1, 4)
+        order = [scheduler.dequeue()[0] for _ in range(8)]
+        assert order == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_weights_give_proportional_packets(self):
+        scheduler = WrrScheduler(2, weights=[3, 1])
+        fill(scheduler, 0, 9)
+        fill(scheduler, 1, 3)
+        order = [scheduler.dequeue()[0] for _ in range(12)]
+        assert order == [0, 0, 0, 1] * 3
+
+    def test_empty_queue_skipped(self):
+        scheduler = WrrScheduler(3)
+        fill(scheduler, 0, 2)
+        fill(scheduler, 2, 2)
+        order = [scheduler.dequeue()[0] for _ in range(4)]
+        assert order == [0, 2, 0, 2]
+
+    def test_queue_rejoins_after_draining(self):
+        scheduler = WrrScheduler(2)
+        fill(scheduler, 0, 1)
+        assert scheduler.dequeue()[0] == 0
+        fill(scheduler, 0, 1)
+        fill(scheduler, 1, 1)
+        order = [scheduler.dequeue()[0] for _ in range(2)]
+        assert sorted(order) == [0, 1]
+
+    def test_round_observer_fires_between_rounds(self):
+        scheduler = WrrScheduler(2)
+        rounds = []
+        scheduler.round_observer = lambda: rounds.append(len(rounds))
+        fill(scheduler, 0, 4)
+        fill(scheduler, 1, 4)
+        for _ in range(8):
+            scheduler.dequeue()
+        # Rounds: (0,1)(0,1)(0,1)(0,1) -> 3 boundaries after the first.
+        assert len(rounds) == 3
+
+    def test_fractional_weight_rounds_to_at_least_one(self):
+        scheduler = WrrScheduler(2, weights=[0.2, 1.0])
+        fill(scheduler, 0, 1)
+        assert scheduler.dequeue() is not None
+
+    def test_quantum_exposed_for_mq_ecn(self):
+        scheduler = WrrScheduler(2, weights=[2, 1])
+        assert scheduler.queue_quantum(0) == 2 * 1500
+        assert scheduler.queue_quantum(1) == 1500

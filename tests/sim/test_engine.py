@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_executes_at_right_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_at_absolute_time(self, sim):
+        seen = []
+        sim.at(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_args_are_passed(self, sim):
+        seen = []
+        sim.schedule(0.1, seen.append, 42)
+        sim.run()
+        assert seen == [42]
+
+    def test_events_fire_in_time_order(self, sim):
+        seen = []
+        sim.schedule(3.0, seen.append, "c")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self, sim):
+        seen = []
+        for tag in range(10):
+            sim.at(1.0, seen.append, tag)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_scheduling_in_the_past_raises(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1e-9, lambda: None)
+
+    def test_events_can_schedule_events(self, sim):
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, second)
+
+        def second():
+            seen.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.at(1.0, seen.append, "early")
+        sim.at(5.0, seen.append, "late")
+        executed = sim.run(until=2.0)
+        assert executed == 1
+        assert seen == ["early"]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_even_when_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_later_events_survive_partial_run(self, sim):
+        seen = []
+        sim.at(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == ["late"]
+
+    def test_max_events(self, sim):
+        seen = []
+        for i in range(5):
+            sim.at(float(i + 1), seen.append, i)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step(self, sim):
+        seen = []
+        sim.at(1.0, seen.append, "x")
+        assert sim.step() is True
+        assert sim.step() is False
+        assert seen == ["x"]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(4):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_reentrant_run_raises(self, sim):
+        def evil():
+            sim.run()
+
+        sim.schedule(0.1, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_clear_drops_pending(self, sim):
+        seen = []
+        sim.at(1.0, seen.append, "x")
+        sim.clear()
+        sim.run()
+        assert seen == []
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self, sim):
+        seen = []
+        keep = sim.schedule(1.0, seen.append, "keep")
+        drop = sim.schedule(1.0, seen.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert seen == ["keep"]
+        assert not keep.cancelled
+
+    def test_cancelled_events_not_counted(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=100))
+    def test_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        seen = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: seen.append(d))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=50))
+    def test_cancelled_subset_never_fires(self, entries):
+        sim = Simulator()
+        fired = []
+        events = []
+        for index, (delay, cancel) in enumerate(entries):
+            events.append(
+                (sim.schedule(delay, lambda i=index: fired.append(i)), cancel)
+            )
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        sim.run()
+        cancelled = {i for i, (_e, c) in enumerate(zip(events, entries))
+                     if entries[i][1]}
+        assert cancelled.isdisjoint(fired)
+        assert set(fired) == set(range(len(entries))) - cancelled

@@ -1,0 +1,138 @@
+"""Unit tests for restartable timers and periodic tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.timers import PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_not_armed_initially(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.expires_at is None
+
+    def test_armed_while_pending(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.restart(5.0)
+        assert timer.armed
+        assert timer.expires_at == 5.0
+
+    def test_disarmed_after_firing(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.restart(1.0)
+        sim.run()
+        assert not timer.armed
+
+    def test_restart_pushes_back_expiry(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        sim.at(0.5, lambda: timer.restart(2.0))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_cancel_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.cancel()
+
+    def test_rearm_after_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        sim.run()
+        timer.restart(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_callback_can_rearm_itself(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: None)
+
+        def callback():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.restart(1.0)
+
+        timer._callback = callback
+        timer.restart(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_ticks(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.at(2.5, task.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_is_idempotent(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=1.5)
+        assert ticks == [1.0]
+
+    def test_restart_after_stop(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.at(1.5, task.stop)
+        sim.at(5.0, task.start)
+        sim.run(until=6.5)
+        assert ticks == [1.0, 6.0]
+
+    def test_running_property(self, sim):
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        assert not task.running
+        task.start()
+        assert task.running
+        task.stop()
+        assert not task.running
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_callback_stopping_mid_tick(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: None)
+
+        def callback():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task._callback = callback
+        task.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]

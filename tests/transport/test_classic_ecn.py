@@ -1,0 +1,70 @@
+"""Unit tests for the classic-ECN (RFC 3168) baseline sender."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.packet import make_ack
+from repro.transport.base import DctcpConfig
+from repro.transport.classic_ecn import ClassicEcnSender
+from repro.transport.flow import Flow
+
+
+class FakeHost(Host):
+    def __init__(self, sim, host_id):
+        super().__init__(sim, host_id)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def make_sender(sim, **config_kwargs):
+    host = FakeHost(sim, 0)
+    flow = Flow(src=0, dst=1)
+    sender = ClassicEcnSender(sim, host, flow, DctcpConfig(**config_kwargs))
+    sender.start()
+    return sender, host
+
+
+def ack(sender, packet, ack_seq, ece=False):
+    sender.on_ack(make_ack(packet, ack_seq, ece))
+
+
+class TestClassicEcn:
+    def test_mark_halves_window(self, sim):
+        sender, host = make_sender(sim, init_cwnd=16.0, init_alpha=0.1)
+        ack(sender, host.sent[0], 1, ece=True)
+        # Halving, NOT the DCTCP alpha/2 cut (which would give 15.2).
+        assert sender.cwnd == pytest.approx(8.0)
+
+    def test_one_halving_per_window(self, sim):
+        sender, host = make_sender(sim, init_cwnd=16.0)
+        ack(sender, host.sent[0], 1, ece=True)
+        ack(sender, host.sent[1], 2, ece=True)
+        assert sender.cwnd >= 8.0
+
+    def test_more_aggressive_than_dctcp_under_light_marking(self, sim):
+        from repro.transport.dctcp import DctcpSender
+        host2 = FakeHost(sim, 0)
+        dctcp = DctcpSender(sim, host2, Flow(src=0, dst=1),
+                            DctcpConfig(init_cwnd=16.0, init_alpha=0.0625))
+        dctcp.start()
+        classic, host = make_sender(sim, init_cwnd=16.0, init_alpha=0.0625)
+        ack(dctcp, host2.sent[0], 1, ece=True)
+        ack(classic, host.sent[0], 1, ece=True)
+        # DCTCP with small alpha cuts ~3%; classic cuts 50%.
+        assert classic.cwnd < dctcp.cwnd
+
+    def test_no_mark_no_cut(self, sim):
+        sender, host = make_sender(sim, init_cwnd=8.0)
+        ack(sender, host.sent[0], 1)
+        assert sender.cwnd >= 8.0
+
+    def test_inherits_recovery_machinery(self, sim):
+        sender, host = make_sender(sim, init_cwnd=8.0)
+        for trigger in host.sent[1:4]:
+            ack(sender, trigger, 0)
+        assert sender.fast_retransmits == 1

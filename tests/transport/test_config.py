@@ -1,0 +1,37 @@
+"""Unit tests for DctcpConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.base import DctcpConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DctcpConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mss_bytes": 10},
+        {"init_cwnd": 0.5},
+        {"g": 0.0},
+        {"g": 1.5},
+        {"init_alpha": -0.1},
+        {"init_alpha": 1.1},
+        {"max_cwnd": 4.0, "init_cwnd": 16.0},
+        {"min_rto": 0.0},
+        {"max_rto": 1e-3, "min_rto": 1e-2},
+        {"dupack_threshold": 0},
+        {"rate_limit_bps": 0.0},
+        {"ack_every": 0},
+        {"delack_timeout": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DctcpConfig(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        DctcpConfig(g=1.0, init_alpha=0.0, init_cwnd=1.0,
+                    max_cwnd=1.0, dupack_threshold=1, ack_every=1)
+        DctcpConfig(init_alpha=1.0)
+        DctcpConfig(rate_limit_bps=1e9)

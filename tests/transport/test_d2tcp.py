@@ -1,0 +1,107 @@
+"""Unit tests for D2TCP deadline-aware congestion control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.packet import make_ack
+from repro.transport.base import DctcpConfig, PAYLOAD_BYTES
+from repro.transport.d2tcp import D2tcpSender, D_MAX, D_MIN
+from repro.transport.flow import Flow
+
+
+class FakeHost(Host):
+    def __init__(self, sim, host_id):
+        super().__init__(sim, host_id)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def make_sender(sim, deadline=None, size_packets=100, **config_kwargs):
+    host = FakeHost(sim, 0)
+    flow = Flow(src=0, dst=1, size_bytes=size_packets * PAYLOAD_BYTES,
+                deadline=deadline)
+    sender = D2tcpSender(sim, host, flow, DctcpConfig(**config_kwargs))
+    sender.start()
+    return sender, host
+
+
+def ack(sender, packet, ack_seq, ece=False):
+    sender.on_ack(make_ack(packet, ack_seq, ece))
+
+
+class TestDeadlineImminence:
+    def test_no_deadline_is_dctcp(self, sim):
+        sender, _host = make_sender(sim, deadline=None)
+        assert sender.deadline_imminence() == 1.0
+
+    def test_long_lived_flow_is_dctcp(self, sim):
+        host = FakeHost(sim, 0)
+        sender = D2tcpSender(sim, host, Flow(src=0, dst=1, deadline=1.0),
+                             DctcpConfig())
+        sender.start()
+        assert sender.deadline_imminence() == 1.0
+
+    def test_clamped_between_bounds(self, sim):
+        tight, _ = make_sender(sim, deadline=1e-9)
+        loose, _ = make_sender(sim, deadline=1e6)
+        assert tight.deadline_imminence() == D_MAX
+        assert D_MIN <= loose.deadline_imminence() <= D_MAX
+        assert loose.deadline_imminence() == D_MIN
+
+    def test_past_deadline_maximum_urgency(self, sim):
+        sender, _host = make_sender(sim, deadline=1e-6)
+        sim.run(until=1e-3)
+        assert sender.deadline_imminence() == D_MAX
+
+    def test_completed_flow_neutral(self, sim):
+        sender, host = make_sender(sim, deadline=1.0, size_packets=1,
+                                   init_cwnd=4.0)
+        ack(sender, host.sent[0], 1)
+        assert sender.deadline_imminence() == 1.0
+
+
+class TestGammaCorrectedBackoff:
+    def test_near_deadline_backs_off_less(self, sim):
+        # alpha 0.5: neutral penalty 0.5; urgent penalty 0.5^2 = 0.25.
+        urgent, urgent_host = make_sender(sim, deadline=1e-9,
+                                          init_cwnd=16.0, init_alpha=0.5)
+        relaxed, relaxed_host = make_sender(sim, deadline=1e6,
+                                            init_cwnd=16.0, init_alpha=0.5)
+        ack(urgent, urgent_host.sent[0], 1, ece=True)
+        ack(relaxed, relaxed_host.sent[0], 1, ece=True)
+        assert urgent.cwnd > relaxed.cwnd
+
+    def test_neutral_flow_matches_dctcp_cut(self, sim):
+        sender, host = make_sender(sim, deadline=None, init_cwnd=16.0,
+                                   init_alpha=0.5)
+        ack(sender, host.sent[0], 1, ece=True)
+        assert sender.cwnd == pytest.approx(16.0 * (1 - 0.5 / 2))
+
+    def test_urgent_cut_uses_alpha_power_d(self, sim):
+        sender, host = make_sender(sim, deadline=1e-9, init_cwnd=16.0,
+                                   init_alpha=0.5)
+        ack(sender, host.sent[0], 1, ece=True)
+        penalty = 0.5 ** D_MAX
+        assert sender.cwnd == pytest.approx(16.0 * (1 - penalty / 2))
+
+    def test_one_cut_per_window(self, sim):
+        sender, host = make_sender(sim, deadline=1e-9, init_cwnd=16.0,
+                                   init_alpha=0.5)
+        ack(sender, host.sent[0], 1, ece=True)
+        after_first = sender.cwnd
+        ack(sender, host.sent[1], 2, ece=True)
+        assert sender.cwnd >= after_first
+
+
+class TestFlowDeadlineValidation:
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, deadline=0.0)
+
+    def test_none_deadline_fine(self):
+        assert Flow(src=0, dst=1).deadline is None

@@ -1,0 +1,320 @@
+"""Unit tests for the DCTCP sender."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pmsb_endhost import RttEcnFilter
+from repro.net.host import Host
+from repro.net.packet import make_ack
+from repro.transport.base import DctcpConfig
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+
+
+class FakeHost(Host):
+    """Captures transmitted packets instead of sending them."""
+
+    def __init__(self, sim, host_id, drop_all=False):
+        super().__init__(sim, host_id)
+        self.sent = []
+        self.drop_all = drop_all
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return not self.drop_all
+
+
+def make_sender(sim, size_packets=None, on_complete=None, **config_kwargs):
+    host = FakeHost(sim, 0)
+    size_bytes = None if size_packets is None else size_packets * 1446
+    flow = Flow(src=0, dst=1, size_bytes=size_bytes)
+    sender = DctcpSender(sim, host, flow, DctcpConfig(**config_kwargs),
+                         on_complete)
+    sender.start()
+    return sender, host, flow
+
+
+def ack(sender, data_packet, ack_seq, ece=False):
+    """Deliver an ACK for a captured data packet."""
+    sender.on_ack(make_ack(data_packet, ack_seq, ece))
+
+
+class TestStartup:
+    def test_initial_burst_is_init_cwnd(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        assert len(host.sent) == 8
+        assert [p.seq for p in host.sent] == list(range(8))
+
+    def test_small_flow_sends_only_its_packets(self, sim):
+        sender, host, _flow = make_sender(sim, size_packets=3, init_cwnd=16.0)
+        assert len(host.sent) == 3
+
+    def test_start_is_idempotent(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0)
+        sender.start()
+        assert len(host.sent) == 4
+
+    def test_packets_carry_service_and_timestamps(self, sim):
+        host = FakeHost(sim, 0)
+        flow = Flow(src=0, dst=1, service=5)
+        sender = DctcpSender(sim, host, flow, DctcpConfig(init_cwnd=1.0))
+        sender.start()
+        packet = host.sent[0]
+        assert packet.service == 5
+        assert packet.sent_time == 0.0
+        assert packet.ect is True
+
+
+class TestWindowGrowth:
+    def test_slow_start_doubles_per_rtt(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=2.0)
+        ack(sender, host.sent[0], 1)
+        ack(sender, host.sent[1], 2)
+        assert sender.cwnd == pytest.approx(4.0)
+
+    def test_congestion_avoidance_grows_one_per_rtt(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=10.0,
+                                          init_ssthresh=1.0)
+        start_cwnd = sender.cwnd
+        for i in range(10):
+            ack(sender, host.sent[i], i + 1)
+        assert sender.cwnd == pytest.approx(start_cwnd + 1.0, rel=0.05)
+
+    def test_cwnd_capped_at_max(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, max_cwnd=5.0)
+        for i in range(4):
+            ack(sender, host.sent[i], i + 1)
+        assert sender.cwnd == 5.0
+
+    def test_acks_release_new_packets(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=2.0)
+        ack(sender, host.sent[0], 1)
+        # cwnd 3, one acked: in_flight must refill to the window.
+        assert sender.in_flight == 3
+
+
+class TestDctcpAlpha:
+    def test_alpha_decays_without_marks(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, init_alpha=1.0,
+                                          g=0.25)
+        for i in range(4):
+            ack(sender, host.sent[i], i + 1)
+        # One full window without marks: alpha <- 0.75 * 1.0
+        assert sender.alpha == pytest.approx(0.75)
+
+    def test_alpha_tracks_marked_fraction(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, init_alpha=0.0,
+                                          g=1.0)
+        for i in range(4):
+            ack(sender, host.sent[i], i + 1, ece=(i < 2))
+        assert sender.alpha == pytest.approx(0.5)
+
+    def test_cut_uses_alpha(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=10.0,
+                                          init_alpha=0.5)
+        ack(sender, host.sent[0], 1, ece=True)
+        assert sender.cwnd == pytest.approx(10.0 * (1 - 0.5 / 2))
+
+    def test_at_most_one_cut_per_window(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0, init_alpha=1.0)
+        ack(sender, host.sent[0], 1, ece=True)
+        after_first = sender.cwnd
+        ack(sender, host.sent[1], 2, ece=True)
+        ack(sender, host.sent[2], 3, ece=True)
+        # Still inside the same window of data: no further cuts.
+        assert sender.cwnd >= after_first
+
+    def test_new_window_allows_new_cut(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, init_alpha=1.0)
+        for i in range(4):
+            ack(sender, host.sent[i], i + 1, ece=True)
+        cwnd_after_window = sender.cwnd
+        next_packet = host.sent[4]
+        ack(sender, next_packet, 5, ece=True)
+        assert sender.cwnd < cwnd_after_window
+
+    def test_mark_exits_slow_start(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, init_alpha=1.0)
+        ack(sender, host.sent[0], 1, ece=True)
+        assert sender.cwnd < 4.0
+        assert sender.ssthresh == sender.cwnd
+
+
+class TestPmsbEFilter:
+    def test_filtered_mark_is_ignored(self, sim):
+        # RTT 0 (instant ACK) is below any threshold: PMSB(e) must treat
+        # the mark as a per-port false positive.
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=8.0, init_alpha=1.0,
+            ecn_filter_factory=lambda: RttEcnFilter(rtt_threshold=1.0),
+        )
+        ack(sender, host.sent[0], 1, ece=True)
+        assert sender.cwnd >= 8.0  # no back-off
+        assert sender.marks_filtered == 1
+        assert sender.marks_accepted == 0
+
+    def test_mark_accepted_when_rtt_large(self, sim):
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=8.0, init_alpha=1.0,
+            ecn_filter_factory=lambda: RttEcnFilter(rtt_threshold=1e-6),
+        )
+        first = host.sent[0]
+        sim.at(1e-3, lambda: ack(sender, first, 1, ece=True))
+        sim.run(until=1.5e-3)
+        assert sender.cwnd < 8.0
+        assert sender.marks_accepted == 1
+
+    def test_filtered_marks_do_not_feed_alpha(self, sim):
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=4.0, init_alpha=1.0, g=1.0,
+            ecn_filter_factory=lambda: RttEcnFilter(rtt_threshold=1.0),
+        )
+        for i in range(4):
+            ack(sender, host.sent[i], i + 1, ece=True)
+        # Whole window "marked" but all filtered: F must be 0.
+        assert sender.alpha == 0.0
+
+
+class TestFastRetransmit:
+    def test_three_dupacks_trigger_retransmit(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        lost = host.sent[0]
+        for trigger in host.sent[1:4]:
+            ack(sender, trigger, 0)  # three duplicate ACKs for seq 0
+        retransmits = [p for p in host.sent if p.retransmit]
+        assert len(retransmits) == 1
+        assert retransmits[0].seq == lost.seq
+        assert sender.fast_retransmits == 1
+
+    def test_window_halved_on_loss(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        for trigger in host.sent[1:4]:
+            ack(sender, trigger, 0)
+        assert sender.cwnd == pytest.approx(4.0)
+
+    def test_no_second_retransmit_during_recovery(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        for trigger in host.sent[1:6]:
+            ack(sender, trigger, 0)  # five dup ACKs
+        assert sender.fast_retransmits == 1
+
+    def test_recovery_exits_on_new_ack(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        for trigger in host.sent[1:4]:
+            ack(sender, trigger, 0)
+        assert sender.in_recovery
+        recovery_point = sender._recover_seq
+        ack(sender, host.sent[4], recovery_point)
+        assert not sender.in_recovery
+
+
+class TestTimeout:
+    def test_rto_rewinds_and_resends(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, min_rto=1e-3)
+        sim.run(until=2e-3)
+        assert sender.timeouts >= 1
+        assert sender.cwnd == 1.0
+        # Go-back-N: seq 0 must have been sent again.
+        assert sum(1 for p in host.sent if p.seq == 0) >= 2
+
+    def test_rto_backoff_doubles(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=1.0, min_rto=1e-3,
+                                          max_rto=1.0)
+        sim.run(until=2e-3)
+        first_rto = sender.rto
+        assert first_rto == pytest.approx(2e-3)
+
+    def test_ack_disarms_rto(self, sim):
+        sender, host, _flow = make_sender(sim, size_packets=1,
+                                          init_cwnd=1.0, min_rto=1e-3)
+        ack(sender, host.sent[0], 1)
+        sim.run(until=1.0)
+        assert sender.timeouts == 0
+
+
+class TestRttEstimation:
+    def test_rtt_sample_taken(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=1.0)
+        first = host.sent[0]
+        sim.at(5e-4, lambda: ack(sender, first, 1))
+        sim.run(until=1e-3)
+        assert sender.last_rtt == pytest.approx(5e-4)
+        assert sender.srtt == pytest.approx(5e-4)
+
+    def test_karns_rule_skips_retransmit_samples(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=8.0)
+        for trigger in host.sent[1:4]:
+            ack(sender, trigger, 0)
+        before = sender.last_rtt
+        retransmit = [p for p in host.sent if p.retransmit][0]
+        # The ACK of a retransmission arrives much later; its (ambiguous)
+        # RTT must not update the estimator.
+        sim.at(1e-3, lambda: ack(sender, retransmit, 1))
+        sim.run(until=1.5e-3)
+        assert sender.last_rtt == before
+
+    def test_rtt_recording_optional(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=1.0, record_rtt=True)
+        first = host.sent[0]
+        sim.at(1e-4, lambda: ack(sender, first, 1))
+        sim.run(until=5e-4)
+        assert sender.rtt_samples == [pytest.approx(1e-4)]
+
+
+class TestCompletion:
+    def test_fct_recorded(self, sim):
+        completions = []
+        sender, host, flow = make_sender(
+            sim, size_packets=2, init_cwnd=4.0,
+            on_complete=lambda f, fct, s: completions.append((f, fct)),
+        )
+        sim.at(1e-3, lambda: ack(sender, host.sent[0], 1))
+        sim.at(2e-3, lambda: ack(sender, host.sent[1], 2))
+        sim.run()
+        assert sender.completed
+        assert sender.fct == pytest.approx(2e-3)
+        assert completions == [(flow, pytest.approx(2e-3))]
+
+    def test_no_sends_after_completion(self, sim):
+        sender, host, _flow = make_sender(sim, size_packets=1, init_cwnd=4.0)
+        ack(sender, host.sent[0], 1)
+        count = len(host.sent)
+        sender.on_ack(make_ack(host.sent[0], 1, False))  # stray ACK
+        assert len(host.sent) == count
+
+    def test_stop_aborts_long_lived_flow(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=2.0, min_rto=1e-3)
+        sender.stop()
+        sim.run(until=0.1)
+        assert sender.timeouts == 0
+
+
+class TestPacing:
+    def test_rate_limit_spaces_transmissions(self, sim):
+        # 12 Mbit/s -> one 1500 B packet per millisecond.
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0,
+                                          rate_limit_bps=12e6)
+        assert len(host.sent) == 1  # only the first leaves immediately
+        sim.run(until=3.5e-3)
+        assert len(host.sent) == 4
+
+    def test_unpaced_bursts_whole_window(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0)
+        assert len(host.sent) == 4
+
+    def test_paced_rate_is_respected_long_run(self, sim):
+        sender, host, _flow = make_sender(sim, init_cwnd=100.0,
+                                          rate_limit_bps=12e6)
+        sim.run(until=10e-3)
+        # 10 ms at one packet/ms.
+        assert 9 <= len(host.sent) <= 11
+
+
+class TestNicDrops:
+    def test_nic_drop_counted(self, sim):
+        host = FakeHost(sim, 0, drop_all=True)
+        flow = Flow(src=0, dst=1)
+        sender = DctcpSender(sim, host, flow, DctcpConfig(init_cwnd=2.0))
+        sender.start()
+        assert sender.nic_drops == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the delayed-ACK DCTCP CE state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.packet import make_data
+from repro.transport.flow import Flow
+from repro.transport.receiver import DctcpReceiver
+
+
+class FakeHost(Host):
+    def __init__(self, sim, host_id):
+        super().__init__(sim, host_id)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def make_receiver(sim, ack_every=2, delack_timeout=1e-3):
+    host = FakeHost(sim, 1)
+    flow = Flow(src=0, dst=1, size_bytes=1_000_000)
+    receiver = DctcpReceiver(sim, host, flow, ack_every=ack_every,
+                             delack_timeout=delack_timeout)
+    return receiver, host, flow
+
+
+def data(flow, seq, ce=False):
+    packet = make_data(flow.flow_id, flow.src, flow.dst, seq)
+    packet.sent_time = 0.0
+    packet.ce = ce
+    return packet
+
+
+class TestCoalescing:
+    def test_acks_every_m_packets(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=2)
+        for seq in range(4):
+            receiver.on_data(data(flow, seq))
+        assert [a.ack_seq for a in host.sent] == [2, 4]
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            make_receiver(sim, ack_every=0)
+
+    def test_per_packet_mode_unchanged(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=1)
+        for seq in range(3):
+            receiver.on_data(data(flow, seq))
+        assert [a.ack_seq for a in host.sent] == [1, 2, 3]
+
+
+class TestCeStateMachine:
+    def test_ce_transition_flushes_pending_with_old_state(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=4)
+        receiver.on_data(data(flow, 0, ce=False))   # pending, state 0
+        receiver.on_data(data(flow, 1, ce=True))    # transition!
+        # First ACK flushed immediately, carrying the OLD (unmarked) state.
+        assert len(host.sent) == 1
+        assert host.sent[0].ece is False
+        assert host.sent[0].ack_seq == 1
+
+    def test_marked_run_acked_with_ece(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=2)
+        receiver.on_data(data(flow, 0, ce=True))
+        receiver.on_data(data(flow, 1, ce=True))
+        assert len(host.sent) == 1
+        assert host.sent[0].ece is True
+
+    def test_marked_byte_accounting_is_exact(self, sim):
+        # 2 unmarked, 2 marked, 2 unmarked with m=2: three ACKs whose ECE
+        # pattern exactly partitions the packets.
+        receiver, host, flow = make_receiver(sim, ack_every=2)
+        pattern = [False, False, True, True, False, False]
+        for seq, ce in enumerate(pattern):
+            receiver.on_data(data(flow, seq, ce=ce))
+        assert [a.ece for a in host.sent] == [False, True, False]
+        assert [a.ack_seq for a in host.sent] == [2, 4, 6]
+
+    def test_alternating_ce_acks_every_packet(self, sim):
+        # Worst case for coalescing: CE flips every packet, so the state
+        # machine degenerates to (nearly) per-packet ACKs — by design.
+        receiver, host, flow = make_receiver(sim, ack_every=4)
+        for seq in range(6):
+            receiver.on_data(data(flow, seq, ce=(seq % 2 == 1)))
+        assert len(host.sent) >= 5
+
+
+class TestDelackTimer:
+    def test_timer_flushes_straggler(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=2,
+                                             delack_timeout=1e-3)
+        receiver.on_data(data(flow, 0))
+        assert host.sent == []
+        sim.run(until=2e-3)
+        assert [a.ack_seq for a in host.sent] == [1]
+
+    def test_timer_cancelled_by_flush(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=2,
+                                             delack_timeout=1e-3)
+        receiver.on_data(data(flow, 0))
+        receiver.on_data(data(flow, 1))
+        sim.run(until=5e-3)
+        assert len(host.sent) == 1  # no duplicate from the timer
+
+
+class TestOutOfOrderBypassesDelay:
+    def test_gap_acks_immediately(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=4)
+        receiver.on_data(data(flow, 0))
+        receiver.on_data(data(flow, 2))  # gap at 1: must ACK now
+        assert len(host.sent) >= 1
+        assert host.sent[-1].ack_seq == 1
+
+    def test_dup_acks_enable_fast_retransmit(self, sim):
+        receiver, host, flow = make_receiver(sim, ack_every=4)
+        receiver.on_data(data(flow, 0))
+        for seq in (2, 3, 4):
+            receiver.on_data(data(flow, seq))
+        dups = [a for a in host.sent if a.ack_seq == 1]
+        assert len(dups) >= 3

@@ -1,0 +1,56 @@
+"""Unit tests for flow descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.base import PAYLOAD_BYTES, packets_for_bytes
+from repro.transport.flow import Flow
+
+
+class TestPacketsForBytes:
+    def test_one_payload(self):
+        assert packets_for_bytes(PAYLOAD_BYTES) == 1
+
+    def test_rounds_up(self):
+        assert packets_for_bytes(PAYLOAD_BYTES + 1) == 2
+
+    def test_tiny_flow_is_one_packet(self):
+        assert packets_for_bytes(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            packets_for_bytes(0)
+
+
+class TestFlow:
+    def test_finite_flow(self):
+        flow = Flow(src=0, dst=1, size_bytes=10 * PAYLOAD_BYTES)
+        assert flow.size_packets == 10
+        assert not flow.is_long_lived
+
+    def test_long_lived_flow(self):
+        flow = Flow(src=0, dst=1)
+        assert flow.size_bytes is None
+        assert flow.size_packets is None
+        assert flow.is_long_lived
+
+    def test_flow_ids_unique(self):
+        a = Flow(src=0, dst=1)
+        b = Flow(src=0, dst=1)
+        assert a.flow_id != b.flow_id
+
+    def test_same_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=3, dst=3)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, size_bytes=0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, start_time=-1.0)
+
+    def test_service_default(self):
+        assert Flow(src=0, dst=1).service == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the DCTCP receiver."""
+
+from __future__ import annotations
+
+from repro.net.host import Host
+from repro.net.packet import make_data
+from repro.transport.flow import Flow
+from repro.transport.receiver import DctcpReceiver
+
+
+class FakeHost(Host):
+    """A host whose sends are captured instead of transmitted."""
+
+    def __init__(self, sim, host_id):
+        super().__init__(sim, host_id)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def make_receiver(sim):
+    host = FakeHost(sim, 1)
+    flow = Flow(src=0, dst=1, size_bytes=100_000)
+    return DctcpReceiver(sim, host, flow), host, flow
+
+
+def data(flow, seq, ce=False):
+    packet = make_data(flow.flow_id, flow.src, flow.dst, seq)
+    packet.sent_time = 0.0
+    packet.ce = ce
+    return packet
+
+
+class TestInOrder:
+    def test_acks_every_packet(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        for seq in range(3):
+            receiver.on_data(data(flow, seq))
+        assert [a.ack_seq for a in host.sent] == [1, 2, 3]
+
+    def test_cumulative_ack_advances(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0))
+        assert receiver.expected_seq == 1
+
+    def test_byte_accounting(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0))
+        assert receiver.bytes_received == 1500
+        assert receiver.packets_received == 1
+
+
+class TestEcnEcho:
+    def test_ce_echoed_as_ece(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0, ce=True))
+        receiver.on_data(data(flow, 1, ce=False))
+        assert [a.ece for a in host.sent] == [True, False]
+
+    def test_marked_counter(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0, ce=True))
+        assert receiver.marked_packets == 1
+
+
+class TestOutOfOrder:
+    def test_gap_produces_duplicate_acks(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0))
+        receiver.on_data(data(flow, 2))  # gap at 1
+        receiver.on_data(data(flow, 3))
+        assert [a.ack_seq for a in host.sent] == [1, 1, 1]
+
+    def test_gap_fill_jumps_cumulative_ack(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0))
+        receiver.on_data(data(flow, 2))
+        receiver.on_data(data(flow, 3))
+        receiver.on_data(data(flow, 1))  # fills the hole
+        assert host.sent[-1].ack_seq == 4
+
+    def test_duplicate_data_counted_not_stored(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 2))
+        receiver.on_data(data(flow, 2))
+        assert receiver.duplicate_packets == 1
+        assert receiver.packets_received == 1
+
+    def test_already_acked_data_is_duplicate(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        receiver.on_data(data(flow, 0))
+        receiver.on_data(data(flow, 0))
+        assert receiver.duplicate_packets == 1
+
+    def test_ack_echoes_timestamp_of_trigger(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        packet = data(flow, 0)
+        packet.sent_time = 123.0
+        receiver.on_data(packet)
+        assert host.sent[0].echo_time == 123.0
+
+    def test_arrival_times_recorded(self, sim):
+        receiver, host, flow = make_receiver(sim)
+        sim.at(1.0, receiver.on_data, data(flow, 0))
+        sim.at(2.0, receiver.on_data, data(flow, 1))
+        sim.run()
+        assert receiver.first_arrival == 1.0
+        assert receiver.last_arrival == 2.0

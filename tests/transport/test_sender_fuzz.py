@@ -1,0 +1,92 @@
+"""Property-based fuzzing of the DCTCP sender's ACK handling.
+
+Hypothesis feeds the sender arbitrary (even adversarial) ACK sequences —
+stale cumulative numbers, random ECE bits, duplicates — and the sender's
+structural invariants must hold at every step.  This is the state
+machine a malicious or buggy receiver would stress.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.net.host import Host
+from repro.net.packet import ACK, Packet
+from repro.transport.base import DctcpConfig
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.sim.engine import Simulator
+
+
+class FakeHost(Host):
+    def __init__(self, sim, host_id):
+        super().__init__(sim, host_id)
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def crafted_ack(flow, ack_seq, ece, echo_time):
+    ack = Packet(ACK, flow.flow_id, flow.dst, flow.src, 0, 40, ect=False)
+    ack.ack_seq = ack_seq
+    ack.ece = ece
+    ack.echo_time = echo_time
+    return ack
+
+
+ack_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),    # ack_seq (maybe absurd)
+        st.booleans(),                             # ece
+        st.one_of(st.none(), st.floats(0.0, 1e-3, allow_nan=False)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@given(acks=ack_stream, size_packets=st.one_of(st.none(),
+                                               st.integers(1, 40)))
+def test_sender_invariants_under_arbitrary_acks(acks, size_packets):
+    sim = Simulator()
+    host = FakeHost(sim, 0)
+    size_bytes = None if size_packets is None else size_packets * 1446
+    flow = Flow(src=0, dst=1, size_bytes=size_bytes)
+    sender = DctcpSender(sim, host, flow, DctcpConfig(init_cwnd=8.0))
+    sender.start()
+
+    for ack_seq, ece, echo in acks:
+        # Clamp to what a real receiver could cumulatively ack: never
+        # beyond what was actually sent.
+        ack = crafted_ack(flow, min(ack_seq, sender.next_seq), ece, echo)
+        sender.on_ack(ack)
+
+        # Structural invariants.
+        assert 0 <= sender.snd_una <= sender.next_seq
+        assert sender.cwnd >= 1.0
+        assert sender.cwnd <= sender.config.max_cwnd
+        assert 0.0 <= sender.alpha <= 1.0
+        assert sender.in_flight >= 0
+        if sender.total_packets is not None:
+            assert sender.next_seq <= max(sender.total_packets,
+                                          sender.snd_una)
+        if sender.completed:
+            break
+
+    if size_packets is not None and sender.completed:
+        assert sender.snd_una >= size_packets
+        assert sender.fct is not None
+
+
+@given(acks=ack_stream)
+def test_sender_never_sends_beyond_flow(acks):
+    sim = Simulator()
+    host = FakeHost(sim, 0)
+    flow = Flow(src=0, dst=1, size_bytes=10 * 1446)
+    sender = DctcpSender(sim, host, flow, DctcpConfig(init_cwnd=16.0))
+    sender.start()
+    for ack_seq, ece, echo in acks:
+        sender.on_ack(crafted_ack(flow, min(ack_seq, 10), ece, echo))
+    new_data = {p.seq for p in host.sent if not p.retransmit}
+    assert new_data <= set(range(10))

@@ -1,0 +1,152 @@
+"""Unit tests for flow-size distributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import (DATA_MINING, EmpiricalCdf,
+                                           LogUniform, Mixture, PAPER_MIX,
+                                           Uniform, WEB_SEARCH)
+
+
+class TestUniform:
+    def test_samples_in_range(self):
+        rng = make_rng(1)
+        dist = Uniform(100, 200)
+        for _ in range(100):
+            assert 100 <= dist.sample(rng) <= 200
+
+    def test_mean(self):
+        assert Uniform(100, 200).mean_bytes() == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(0, 100)
+        with pytest.raises(ValueError):
+            Uniform(200, 100)
+
+
+class TestLogUniform:
+    def test_samples_in_range(self):
+        rng = make_rng(2)
+        dist = LogUniform(1_000, 1_000_000)
+        for _ in range(100):
+            assert 1_000 <= dist.sample(rng) <= 1_000_000
+
+    def test_mean_matches_monte_carlo(self):
+        rng = make_rng(3)
+        dist = LogUniform(1_000, 1_000_000)
+        empirical = sum(dist.sample(rng) for _ in range(20_000)) / 20_000
+        assert empirical == pytest.approx(dist.mean_bytes(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogUniform(100, 100)
+
+
+class TestMixture:
+    def test_component_probabilities(self):
+        rng = make_rng(4)
+        dist = Mixture([(0.5, Uniform(1, 10)), (0.5, Uniform(1000, 2000))])
+        small = sum(1 for _ in range(2000) if dist.sample(rng) < 100)
+        assert 850 <= small <= 1150
+
+    def test_mean_is_weighted(self):
+        dist = Mixture([(1.0, Uniform(100, 100)), (3.0, Uniform(200, 200))])
+        assert dist.mean_bytes() == pytest.approx(175.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+
+
+class TestEmpiricalCdf:
+    def test_samples_bounded_by_support(self):
+        rng = make_rng(5)
+        for _ in range(200):
+            value = WEB_SEARCH.sample(rng)
+            assert 1 <= value <= 20_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(2, 0.5), (1, 1.0)])  # sizes not increasing
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 0.8), (2, 0.5)])  # probs decreasing
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 0.5), (2, 0.9)])  # does not end at 1
+
+    def test_mean_matches_monte_carlo(self):
+        rng = make_rng(6)
+        empirical = sum(WEB_SEARCH.sample(rng) for _ in range(20_000)) / 20_000
+        assert empirical == pytest.approx(WEB_SEARCH.mean_bytes(), rel=0.1)
+
+    def test_data_mining_heavier_tail_than_web_search(self):
+        assert DATA_MINING.mean_bytes() > WEB_SEARCH.mean_bytes()
+
+
+class TestPaperMix:
+    def test_class_fractions_match_paper(self):
+        # 60% small (<=100 KB), 10% large (>=10 MB) by count.
+        rng = make_rng(7)
+        samples = [PAPER_MIX.sample(rng) for _ in range(5000)]
+        small = sum(1 for s in samples if s <= 100_000) / len(samples)
+        large = sum(1 for s in samples if s >= 10_000_000) / len(samples)
+        assert small == pytest.approx(0.60, abs=0.03)
+        assert large == pytest.approx(0.10, abs=0.02)
+
+    def test_scaled_shrinks_sizes(self):
+        rng = make_rng(8)
+        scaled = PAPER_MIX.scaled(0.1)
+        assert scaled.mean_bytes() == pytest.approx(PAPER_MIX.mean_bytes() * 0.1)
+        assert scaled.sample(rng) >= 1
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_MIX.scaled(0.0)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_samples_always_positive(self, seed):
+        rng = make_rng(seed)
+        assert PAPER_MIX.sample(rng) >= 1
+        assert PAPER_MIX.scaled(0.001).sample(rng) >= 1
+
+
+class TestPareto:
+    def test_samples_bounded(self):
+        from repro.workloads.distributions import Pareto
+        rng = make_rng(9)
+        dist = Pareto(1_000, 10_000_000, alpha=1.2)
+        for _ in range(200):
+            assert 1_000 <= dist.sample(rng) <= 10_000_000
+
+    def test_heavy_tail_present(self):
+        from repro.workloads.distributions import Pareto
+        rng = make_rng(10)
+        dist = Pareto(1_000, 10_000_000, alpha=1.1)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        # Most samples tiny, a few huge — the elephants-and-mice shape.
+        small = sum(1 for s in samples if s < 10_000)
+        huge = sum(1 for s in samples if s > 1_000_000)
+        assert small > 0.7 * len(samples)
+        assert huge > 0
+
+    def test_mean_matches_monte_carlo(self):
+        from repro.workloads.distributions import Pareto
+        rng = make_rng(11)
+        dist = Pareto(10_000, 1_000_000, alpha=1.5)
+        empirical = sum(dist.sample(rng) for _ in range(50_000)) / 50_000
+        assert empirical == pytest.approx(dist.mean_bytes(), rel=0.05)
+
+    def test_validation(self):
+        from repro.workloads.distributions import Pareto
+        with pytest.raises(ValueError):
+            Pareto(0, 100)
+        with pytest.raises(ValueError):
+            Pareto(100, 10)
+        with pytest.raises(ValueError):
+            Pareto(10, 100, alpha=0.0)

@@ -1,0 +1,85 @@
+"""Unit tests for the Poisson flow generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import Uniform
+from repro.workloads.generator import PoissonFlowGenerator
+from repro.workloads.services import assign_service
+
+
+def make_generator(load=0.5, n_hosts=8, seed=1, mean_size=100_000):
+    return PoissonFlowGenerator(
+        make_rng(seed), list(range(n_hosts)),
+        Uniform(mean_size, mean_size), load=load, link_rate_bps=10e9,
+    )
+
+
+class TestArrivalRate:
+    def test_rate_formula(self):
+        generator = make_generator(load=0.5, n_hosts=8, mean_size=100_000)
+        expected = 0.5 * 10e9 * 8 / (100_000 * 8)
+        assert generator.arrival_rate == pytest.approx(expected)
+
+    def test_rate_scales_with_load(self):
+        low = make_generator(load=0.2).arrival_rate
+        high = make_generator(load=0.8).arrival_rate
+        assert high == pytest.approx(4 * low)
+
+    def test_empirical_interarrival(self):
+        generator = make_generator(load=0.5)
+        flows = generator.generate(n_flows=2000)
+        mean_gap = flows[-1].start_time / len(flows)
+        assert mean_gap == pytest.approx(1.0 / generator.arrival_rate,
+                                         rel=0.1)
+
+
+class TestGenerate:
+    def test_fixed_count(self):
+        flows = make_generator().generate(n_flows=50)
+        assert len(flows) == 50
+
+    def test_fixed_duration(self):
+        generator = make_generator(load=0.5)
+        duration = 100 / generator.arrival_rate
+        flows = generator.generate(duration=duration)
+        assert 50 <= len(flows) <= 170
+        assert all(f.start_time <= duration for f in flows)
+
+    def test_exactly_one_mode_required(self):
+        generator = make_generator()
+        with pytest.raises(ValueError):
+            generator.generate()
+        with pytest.raises(ValueError):
+            generator.generate(n_flows=10, duration=1.0)
+
+    def test_arrivals_are_ordered(self):
+        flows = make_generator().generate(n_flows=100)
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_src_dst_distinct(self):
+        flows = make_generator().generate(n_flows=200)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_deterministic_for_seed(self):
+        a = make_generator(seed=9).generate(n_flows=20)
+        b = make_generator(seed=9).generate(n_flows=20)
+        assert [(f.src, f.dst, f.size_bytes, f.start_time) for f in a] == \
+               [(f.src, f.dst, f.size_bytes, f.start_time) for f in b]
+
+    def test_services_follow_pair_hash(self):
+        flows = make_generator().generate(n_flows=100)
+        assert all(
+            f.service == assign_service(f.src, f.dst, 8) for f in flows
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_generator(load=0.0)
+        with pytest.raises(ValueError):
+            make_generator(load=1.0)
+        with pytest.raises(ValueError):
+            make_generator(n_hosts=1)

@@ -1,0 +1,45 @@
+"""Unit tests for service classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.services import assign_service, service_weights
+
+
+class TestAssignService:
+    def test_deterministic(self):
+        assert assign_service(3, 7) == assign_service(3, 7)
+
+    def test_in_range(self):
+        for src in range(10):
+            for dst in range(10):
+                assert 0 <= assign_service(src, dst, 8) < 8
+
+    def test_roughly_even_over_pairs(self):
+        # The paper: 48x47 communications classified into 8 services
+        # evenly.
+        counts = [0] * 8
+        for src in range(48):
+            for dst in range(48):
+                if src != dst:
+                    counts[assign_service(src, dst, 8)] += 1
+        total = 48 * 47
+        for count in counts:
+            assert count == pytest.approx(total / 8, rel=0.25)
+
+    def test_direction_matters(self):
+        pairs = [(s, d) for s in range(20) for d in range(20) if s != d]
+        diffs = sum(
+            1 for s, d in pairs if assign_service(s, d) != assign_service(d, s)
+        )
+        assert diffs > len(pairs) / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_service(0, 1, 0)
+
+
+class TestServiceWeights:
+    def test_equal_weights(self):
+        assert list(service_weights(8)) == [1.0] * 8
