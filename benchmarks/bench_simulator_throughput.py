@@ -2,8 +2,12 @@
 
 Not a paper artifact: measures how many packet-level events per second
 the substrate processes, which bounds what the scale profiles can
-afford.  Two workloads: the raw event loop (pure engine overhead) and a
-full 1:8 PMSB incast (engine + port + scheduler + marker + transport).
+afford.  Three workloads: the raw event loop (pure engine overhead), a
+full 1:8 PMSB incast (engine + port + scheduler + marker + transport),
+and a long incast that asserts the engine's heap compaction keeps
+lazy-cancellation debt bounded (every ACK pushes the RTO timer back;
+without compaction + lazy timer push-back the heap grows with dead
+entries and every push/pop pays an extra log factor).
 """
 
 from conftest import heading
@@ -12,6 +16,7 @@ from repro.scheduling.dwrr import DwrrScheduler
 from repro.core.pmsb import PmsbMarker
 from repro.net.topology import single_bottleneck
 from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTask
 from repro.transport.endpoints import open_flow
 from repro.transport.flow import Flow
 
@@ -52,3 +57,43 @@ def test_full_stack_incast(benchmark):
     print(f"{events} events per run "
           f"(~{events / 0.004 / 1e6:.1f}M events per simulated second)")
     assert events > 10_000
+
+
+def test_incast_heap_stays_bounded(benchmark):
+    """100 ms DCTCP incast: ``pending_events`` must not grow monotonically.
+
+    The transport cancels/pushes back its RTO timer on every ACK; the
+    engine's lazy push-back plus heap compaction must hold the heap at a
+    small steady-state size for the whole run instead of accumulating
+    dead entries.
+    """
+    def run():
+        sim = Simulator()
+        network = single_bottleneck(
+            sim, 9, lambda: DwrrScheduler(2), lambda: PmsbMarker(16))
+        for i in range(9):
+            open_flow(network, Flow(src=i, dst=9,
+                                    service=0 if i == 0 else 1))
+        samples = []
+        sampler = PeriodicTask(
+            sim, 1e-3, lambda: samples.append(sim.pending_events))
+        sampler.start()
+        sim.run(until=0.1)
+        return sim, samples
+
+    sim, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    heading("Heap discipline — 1:8 DCTCP incast, 100 ms simulated")
+    half = len(samples) // 2
+    early, late = max(samples[:half]), max(samples[half:])
+    print(f"{len(samples)} samples | heap max {max(samples)} "
+          f"(first half {early}, second half {late}) | "
+          f"cancelled pending {sim.cancelled_pending} | "
+          f"compactions {sim.compactions}")
+    assert len(samples) >= 90
+    # Bounded: the steady state never exceeds a small constant, and the
+    # second half of the run is no worse than the first (no monotone
+    # growth as cancelled entries accumulate).
+    assert max(samples) < 1000
+    assert late <= 1.25 * early + 32
+    # Compaction invariant: dead entries never dominate the heap.
+    assert sim.cancelled_pending * 2 <= max(sim.pending_events, 64)

@@ -171,12 +171,14 @@ def cmd_fig15(args) -> Any:
 
 
 def cmd_sweep(args) -> Any:
-    profile = PROFILES[args.profile]
+    profile = PROFILES[args.scale]
     if args.loads:
         from dataclasses import replace
         profile = replace(profile, loads=tuple(args.loads))
     rows = largescale.run_fct_sweep(scheduler_name=args.scheduler,
-                                    profile=profile, seed=args.seed)
+                                    profile=profile, seed=args.seed,
+                                    jobs=args.jobs,
+                                    profile_events=args.profile)
     print(f"{'scheme':10s} {'load':>5s} {'overall':>9s} {'sm avg':>9s} "
           f"{'sm p99':>9s} {'lg avg':>9s}")
     for row in rows:
@@ -310,11 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "sweep":
             cmd.add_argument("--scheduler", choices=("dwrr", "wfq"),
                              default="dwrr")
-            cmd.add_argument("--profile", choices=tuple(PROFILES),
-                             default="bench")
+            cmd.add_argument("--scale", choices=tuple(PROFILES),
+                             default="bench",
+                             help="scale profile (tiny/bench/paper)")
             cmd.add_argument("--loads", type=float, nargs="+",
                              help="override the profile's load points")
             cmd.add_argument("--seed", type=int, default=1)
+            cmd.add_argument("--jobs", type=int, default=None,
+                             help="worker processes for the sweep "
+                                  "(1 = serial, 0 = all cores; points are "
+                                  "independent, results are identical at "
+                                  "any jobs level)")
+            cmd.add_argument("--profile", action="store_true",
+                             help="print a per-run event/heap profile "
+                                  "(events/sec, category counters, heap "
+                                  "size over time)")
     return parser
 
 

@@ -17,7 +17,7 @@ dequeue (TCN's sojourn time) cannot use the enqueue point at all — their
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, FrozenSet
+from typing import TYPE_CHECKING, FrozenSet, Optional
 
 from ..net.packet import Packet
 
@@ -50,13 +50,28 @@ class Marker:
         self.mark_point = mark_point
         self.packets_marked = 0
         self.packets_seen = 0
+        self._attached_port: Optional["Port"] = None
 
     def attach(self, port: "Port") -> None:
         """Called once when the owning port is constructed.
 
+        A marker instance belongs to exactly one port: its state (link
+        capacity, round observers, phantom queues) is per-port, so
+        re-attaching to a second port would silently corrupt the first
+        port's marking.  Re-attaching raises :class:`ValueError`; shared
+        state across ports goes through an explicit object instead (see
+        :class:`~repro.ecn.service_pool.BufferPool`).
+
         Schemes that need port context (link capacity, scheduler round
-        notifications) override this; the base implementation does nothing.
+        notifications) extend this — always calling ``super().attach``.
         """
+        if self._attached_port is not None and self._attached_port is not port:
+            raise ValueError(
+                f"{type(self).__name__} is already attached to "
+                f"{self._attached_port.name!r}; markers are per-port — "
+                "construct one instance per port"
+            )
+        self._attached_port = port
 
     @property
     def mark_fraction(self) -> float:

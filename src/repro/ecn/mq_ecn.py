@@ -71,6 +71,7 @@ class MqEcnMarker(Marker):
                 "MQ-ECN requires a round-based scheduler (WRR/DWRR); "
                 f"{type(port.scheduler).__name__} has no round concept"
             )
+        super().attach(port)
         self._port = port
         self._capacity_bps = port.link.bandwidth
         if self.t_idle is None:

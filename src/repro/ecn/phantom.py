@@ -45,6 +45,7 @@ class PhantomQueueMarker(Marker):
         self._drain_Bps = 0.0
 
     def attach(self, port: "Port") -> None:
+        super().attach(port)
         self._drain_Bps = self.drain_factor * port.link.bandwidth / 8.0
 
     @property

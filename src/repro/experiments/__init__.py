@@ -1,7 +1,8 @@
 """Experiment harness: one builder per paper figure/table (see DESIGN.md)."""
 
 from . import ablations, analysis_validation, extensions, largescale
-from . import marking_point, motivation, static_flows
+from . import marking_point, motivation, runner, static_flows
+from .runner import available_jobs, run_parallel, seed_for
 from .scale import BENCH, PAPER, ScaleProfile, TINY
 from .scenario import (IncastResult, SCHEME_NAMES, SchemeSpec, incast_flows,
                        make_scheme, run_incast)
@@ -16,6 +17,7 @@ __all__ = [
     "TINY",
     "ablations",
     "analysis_validation",
+    "available_jobs",
     "extensions",
     "incast_flows",
     "largescale",
@@ -23,5 +25,8 @@ __all__ = [
     "marking_point",
     "motivation",
     "run_incast",
+    "run_parallel",
+    "runner",
+    "seed_for",
     "static_flows",
 ]

@@ -136,6 +136,7 @@ def run_fct_point(
     topology: str = "leaf-spine",
     fat_tree_k: int = 4,
     size_scale: Optional[float] = None,
+    profile_events: bool = False,
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
@@ -144,6 +145,8 @@ def run_fct_point(
     as a robustness check on a different fabric.  When passing a custom
     ``size_distribution`` that is already scaled, pass the matching
     ``size_scale`` so the small/large class boundaries scale with it.
+    With ``profile_events`` a :class:`~repro.sim.profile.SimProfiler`
+    rides along and its plain-text report is printed after the run.
     """
     if topology == "leaf-spine":
         scheme = largescale_scheme(scheme_name, profile.link_rate,
@@ -155,6 +158,11 @@ def run_fct_point(
         raise ValueError(f"unknown topology {topology!r}")
     rng = make_rng(seed)
     sim = Simulator()
+    profiler = None
+    if profile_events:
+        from ..sim.profile import SimProfiler
+        profiler = SimProfiler(sim, sample_interval=profile.time_cap / 200.0)
+        profiler.start()
     if topology == "fat-tree":
         from ..net.topology import fat_tree
         network = fat_tree(
@@ -190,6 +198,12 @@ def run_fct_point(
     chunk = max(profile.time_cap / 100.0, 1e-3)
     while len(collector) < len(flows) and sim.now < deadline:
         sim.run(until=min(sim.now + chunk, deadline))
+
+    if profiler is not None:
+        profiler.stop()
+        print(f"\n[{scheme_name} / {scheduler_name} / load {load:.2f} / "
+              f"seed {seed}]")
+        print(profiler.report())
 
     by_class = collector.summary_by_class()
     return FctRow(
@@ -240,27 +254,44 @@ def run_fct_point_multi(
     )
 
 
+def _sweep_worker(point) -> FctRow:
+    """Module-level (picklable) worker for one sweep point."""
+    scheme_name, scheduler_name, load, profile, seed, profile_events = point
+    return run_fct_point(scheme_name, scheduler_name, load, profile, seed,
+                         profile_events=profile_events)
+
+
 def run_fct_sweep(
     scheme_names: Sequence[str] = LARGESCALE_SCHEMES,
     scheduler_name: str = "dwrr",
     profile: ScaleProfile = BENCH,
     seed: int = 1,
+    jobs: Optional[int] = None,
+    profile_events: bool = False,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
     Under WFQ, MQ-ECN is skipped (round-based only, as in the paper).
     All schemes at a given (load, seed) see the *same* flow arrival
     sequence, so comparisons are paired.
+
+    The points are independent simulations, each fully determined by its
+    ``(scheme, scheduler, load, profile, seed)`` tuple, so they fan out
+    over ``jobs`` worker processes (``None`` → the profile's default,
+    ``0`` → all cores, ``1`` → serial) with results identical to the
+    serial run — in value and in order — at every jobs level.
     """
-    rows: List[FctRow] = []
-    for load in profile.loads:
-        for name in scheme_names:
-            if scheduler_name == "wfq" and name == "mq-ecn":
-                continue
-            rows.append(
-                run_fct_point(name, scheduler_name, load, profile, seed)
-            )
-    return rows
+    from .runner import run_parallel
+
+    if jobs is None:
+        jobs = profile.jobs
+    points = [
+        (name, scheduler_name, load, profile, seed, profile_events)
+        for load in profile.loads
+        for name in scheme_names
+        if not (scheduler_name == "wfq" and name == "mq-ecn")
+    ]
+    return run_parallel(points, _sweep_worker, jobs=jobs)
 
 
 def reduction_percent(

@@ -42,6 +42,9 @@ class ScaleProfile:
     loads: Tuple[float, ...]
     #: Hard cap on simulated time per FCT run (seconds).
     time_cap: float
+    #: Default worker processes for sweep parallelism (1 = serial;
+    #: 0 = all cores).  ``--jobs`` on the CLI overrides per run.
+    jobs: int = 1
 
 
 TINY = ScaleProfile(

@@ -56,6 +56,7 @@ class Port:
         "_queue_packets",
         "_queue_bytes",
         "busy",
+        "_tx_event",
         "drops",
         "queue_drops",
         "tx_packets",
@@ -91,6 +92,7 @@ class Port:
         self._queue_packets = [0] * scheduler.n_queues
         self._queue_bytes = [0] * scheduler.n_queues
         self.busy = False
+        self._tx_event = None
         self.drops = 0
         self.queue_drops = [0] * scheduler.n_queues
         self.tx_packets = 0
@@ -174,10 +176,16 @@ class Port:
         self.marker.on_dequeue(self, queue_index, packet)
         self.busy = True
         tx_time = self.link.tx_time(packet.size)
-        self.sim.schedule(tx_time, self._transmission_done, queue_index, packet)
+        self._tx_event = self.sim.schedule(
+            tx_time, self._transmission_done, queue_index, packet
+        )
 
     def _transmission_done(self, queue_index: int, packet: Packet) -> None:
         # The packet has left the buffer only now that it is on the wire.
+        self._tx_event = None
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.count("tx")
         self._packet_count -= 1
         self._byte_count -= packet.size
         self._queue_packets[queue_index] -= 1
@@ -192,6 +200,34 @@ class Port:
         for listener in self.dequeue_listeners:
             listener(self, queue_index, packet)
         self._transmit_next()
+
+    # -- teardown ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the port to an empty, idle state.
+
+        Required after :meth:`repro.sim.engine.Simulator.clear` (or any
+        teardown that discards pending events): a cleared simulator drops
+        the in-flight ``_transmission_done`` event, which would otherwise
+        leave ``busy`` latched forever — the port would never transmit
+        again — and leak buffer/pool occupancy.  ``reset`` cancels the
+        in-flight transmission, discards all queued packets, zeroes the
+        occupancy accounting and credits any shared pool.  Cumulative
+        statistics (``tx_packets``, ``drops``, …) are preserved.
+        """
+        if self._tx_event is not None:
+            self._tx_event.cancel()
+            self._tx_event = None
+        self.busy = False
+        if self.pool is not None and self._packet_count:
+            self.pool.packet_count -= self._packet_count
+            self.pool.byte_count -= self._byte_count
+        self.scheduler.clear()
+        self._packet_count = 0
+        self._byte_count = 0
+        for queue_index in range(self.scheduler.n_queues):
+            self._queue_packets[queue_index] = 0
+            self._queue_bytes[queue_index] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -76,6 +76,18 @@ class Scheduler:
         """Remove and return ``(queue_index, packet)``; None when empty."""
         raise NotImplementedError
 
+    def clear(self) -> None:
+        """Discard all stored packets and reset scheduling state.
+
+        The teardown hook behind :meth:`repro.net.port.Port.reset`.
+        Subclasses with extra per-queue state (deficits, credits, virtual
+        times) extend this so a cleared scheduler is indistinguishable
+        from a freshly constructed one.
+        """
+        for queue in self._queues:
+            queue.clear()
+        self._total_packets = 0
+
     # -- helpers for subclasses ------------------------------------------
 
     def _pop(self, queue_index: int) -> Packet:

@@ -85,5 +85,19 @@ class DwrrScheduler(Scheduler):
         self._is_active[queue_index] = False
         self._deficit[queue_index] = 0.0
         self._visiting[queue_index] = False
+        # A retired queue must also leave the round bookkeeping: if it
+        # re-activates before the round completes, its next visit would
+        # otherwise look like a new round and fire a spurious
+        # round_observer notification (skewing MQ-ECN's T_round low).
+        self._served_this_round.discard(queue_index)
         if not self._active:
             self._served_this_round.clear()
+
+    def clear(self) -> None:
+        super().clear()
+        for queue_index in range(self.n_queues):
+            self._deficit[queue_index] = 0.0
+            self._visiting[queue_index] = False
+            self._is_active[queue_index] = False
+        self._active.clear()
+        self._served_this_round.clear()

@@ -34,3 +34,7 @@ class FifoScheduler(Scheduler):
             return None
         queue_index = self._order.popleft()
         return queue_index, self._pop(queue_index)
+
+    def clear(self) -> None:
+        super().clear()
+        self._order.clear()

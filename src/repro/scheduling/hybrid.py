@@ -69,3 +69,11 @@ class SpWfqScheduler(Scheduler):
                 self._virtual_time[level] = best_tag
                 return best_queue, self._pop(best_queue)
         raise AssertionError("packet accounting out of sync")  # pragma: no cover
+
+    def clear(self) -> None:
+        super().clear()
+        for level in self._levels:
+            self._virtual_time[level] = 0.0
+        for queue_index in range(self.n_queues):
+            self._finish_tag[queue_index] = 0.0
+            self._start_tags[queue_index].clear()

@@ -55,3 +55,10 @@ class WfqScheduler(Scheduler):
         self._start_tags[best_queue].popleft()
         self._virtual_time = best_tag
         return best_queue, self._pop(best_queue)
+
+    def clear(self) -> None:
+        super().clear()
+        self._virtual_time = 0.0
+        for queue_index in range(self.n_queues):
+            self._finish_tag[queue_index] = 0.0
+            self._start_tags[queue_index].clear()

@@ -67,6 +67,17 @@ class WrrScheduler(Scheduler):
         self._active.popleft()
         self._is_active[queue_index] = False
         self._credit[queue_index] = 0
+        # Same round-bookkeeping rule as DWRR: a drained queue that
+        # re-activates within the round must not look like a new round.
+        self._served_this_round.discard(queue_index)
         if not self._active:
             # The backlog drained: the current round is over.
             self._served_this_round.clear()
+
+    def clear(self) -> None:
+        super().clear()
+        for queue_index in range(self.n_queues):
+            self._credit[queue_index] = 0
+            self._is_active[queue_index] = False
+        self._active.clear()
+        self._served_this_round.clear()

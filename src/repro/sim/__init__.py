@@ -1,12 +1,15 @@
 """Discrete-event simulation engine (event loop, timers, deterministic RNG)."""
 
 from .engine import Event, SimulationError, Simulator
+from .profile import HeapSample, SimProfiler
 from .rng import make_rng, spawn, stable_hash
 from .timers import PeriodicTask, Timer
 
 __all__ = [
     "Event",
+    "HeapSample",
     "PeriodicTask",
+    "SimProfiler",
     "SimulationError",
     "Simulator",
     "Timer",

@@ -9,14 +9,48 @@ in the order they were scheduled.
 The engine deliberately avoids coroutine/process abstractions.  Network
 simulations at packet granularity schedule millions of very small events;
 plain callbacks keep the hot loop tight and the call stacks shallow.
+
+Cancellation and heap compaction
+--------------------------------
+
+Cancelling an event does not remove it from the heap (a heap delete is
+O(n)); the entry is skipped when popped.  Transport workloads cancel
+aggressively — every ACK pushes back the retransmission timer — so dead
+entries would otherwise accumulate and inflate every push/pop by a log
+factor.  The engine therefore counts live cancellations and **compacts**
+the heap (filters the dead entries out and re-heapifies, an O(n) pass)
+whenever more than half of it is cancelled.  Two consequences callers can
+observe:
+
+- :attr:`Simulator.pending_events` may *shrink* spontaneously after a
+  burst of cancellations — it counts heap entries, cancelled ones
+  included, and a compaction drops the dead ones all at once.
+- :attr:`Simulator.cancelled_pending` (dead entries currently in the
+  heap) and :attr:`Simulator.compactions` expose the mechanism for
+  benchmarks and the profiler.
+
+Executed and cancelled events whose handles are no longer referenced
+anywhere are recycled through a small free-list, so steady-state
+schedule/fire churn does not allocate.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+import sys
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .profile import SimProfiler
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+#: Compact only when the heap is at least this large — tiny heaps are
+#: cheap to scan linearly and not worth the heapify churn.
+_COMPACT_MIN_HEAP = 64
+
+#: Upper bound on recycled Event objects kept around.
+_FREELIST_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -29,25 +63,40 @@ class Event:
     Instances are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.at`.  The only public operation is :meth:`cancel`;
     cancelled events stay in the heap but are skipped when popped, which
-    is much cheaper than a heap delete.
+    is much cheaper than a heap delete.  (The owning simulator counts
+    cancellations and compacts the heap when dead entries dominate —
+    see the module docstring.)
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "in_heap", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.in_heap = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly: a cancelled retransmission timer may
         # otherwise pin a large packet object in the heap for a long time.
         self.callback = _noop
         self.args = ()
+        if self.in_heap and self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -76,7 +125,10 @@ class Simulator:
     an event in the past raises :class:`SimulationError`.
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_events_processed", "_running")
+    __slots__ = (
+        "_heap", "_now", "_seq", "_events_processed", "_running",
+        "_cancelled", "_compactions", "_freelist", "profiler",
+    )
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -84,6 +136,12 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        self._cancelled = 0
+        self._compactions = 0
+        self._freelist: list[Event] = []
+        #: Optional :class:`~repro.sim.profile.SimProfiler`; hot-path
+        #: components check it for None before reporting counters.
+        self.profiler: Optional["SimProfiler"] = None
 
     @property
     def now(self) -> float:
@@ -97,8 +155,22 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of events still in the heap (including cancelled ones).
+
+        May shrink without any event firing: a heap compaction drops all
+        cancelled entries at once (see the module docstring).
+        """
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far."""
+        return self._compactions
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -113,9 +185,52 @@ class Simulator:
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
         self._seq += 1
-        event = Event(time, self._seq, callback, args)
+        freelist = self._freelist
+        if freelist:
+            event = freelist.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, self._seq, callback, args, self)
+        event.in_heap = True
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """One live heap entry was cancelled; compact when they dominate."""
+        self._cancelled += 1
+        if (
+            self._cancelled * 2 > len(self._heap)
+            and len(self._heap) >= _COMPACT_MIN_HEAP
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Filter cancelled entries out of the heap and re-heapify.
+
+        Mutates ``self._heap`` in place so the alias held by a running
+        :meth:`run` loop stays valid.
+        """
+        heap = self._heap
+        live = []
+        for event in heap:
+            if event.cancelled:
+                event.in_heap = False
+            else:
+                live.append(event)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self._compactions += 1
+
+    # Free-list discipline: recycling an Event someone still holds a
+    # handle to would let a stale ``cancel()`` kill an unrelated future
+    # event, so the run loop pools an object only when its local variable
+    # is the sole remaining reference (sys.getrefcount == local binding +
+    # getrefcount argument = 2).
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the heap drains, ``until`` is reached, or
@@ -129,21 +244,34 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly from within an event")
         heap = self._heap
+        freelist = self._freelist
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
         executed = 0
         self._running = True
         try:
             while heap:
                 event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(heap)
+                    heappop(heap)
+                    event.in_heap = False
+                    self._cancelled -= 1
+                    # Recycle only provably-unshared handles (see _recycle).
+                    if len(freelist) < _FREELIST_MAX and getrefcount(event) == 2:
+                        freelist.append(event)
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(heap)
+                heappop(heap)
+                event.in_heap = False
                 self._now = event.time
                 event.callback(*event.args)
                 executed += 1
                 self._events_processed += 1
+                if len(freelist) < _FREELIST_MAX and getrefcount(event) == 2:
+                    event.callback = _noop
+                    event.args = ()
+                    freelist.append(event)
                 if max_events is not None and executed >= max_events:
                     break
         finally:
@@ -157,5 +285,16 @@ class Simulator:
         return self.run(max_events=1) == 1
 
     def clear(self) -> None:
-        """Drop all pending events (the clock is left untouched)."""
+        """Drop all pending events (the clock is left untouched).
+
+        Careful at scenario teardown: any component holding scheduled
+        state — most notably a :class:`~repro.net.port.Port` whose
+        ``busy`` flag is set while its transmission-completion event is
+        in this heap — is left inconsistent by a bare ``clear()``.  Call
+        :meth:`repro.net.port.Port.reset` on every port afterwards (or
+        instead) to return the datapath to a consistent idle state.
+        """
+        for event in self._heap:
+            event.in_heap = False
         self._heap.clear()
+        self._cancelled = 0

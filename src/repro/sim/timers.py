@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .engine import Event, Simulator
+from .engine import Event, SimulationError, Simulator
 
 __all__ = ["Timer", "PeriodicTask"]
 
@@ -20,14 +20,23 @@ class Timer:
 
     ``restart(delay)`` cancels any armed instance and arms a new one.
     The callback fires at most once per arm.
+
+    Pushing the expiry *later* — the overwhelmingly common case: a
+    retransmission timer is pushed back by every ACK — performs **no heap
+    operation at all**: the existing engine event is kept at its earlier
+    time and only the true deadline is updated.  When that stale event
+    fires early, the timer silently re-arms for the remaining interval.
+    At most one extra no-op event per push-back sequence reaches the heap,
+    instead of one cancelled entry per ``restart``.
     """
 
-    __slots__ = ("_sim", "_callback", "_event")
+    __slots__ = ("_sim", "_callback", "_event", "_deadline")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]):
         self._sim = sim
         self._callback = callback
         self._event: Optional[Event] = None
+        self._deadline = 0.0
 
     @property
     def armed(self) -> bool:
@@ -37,13 +46,26 @@ class Timer:
     def expires_at(self) -> Optional[float]:
         """Absolute expiry time, or None when not armed."""
         if self.armed:
-            return self._event.time  # type: ignore[union-attr]
+            return self._deadline
         return None
 
     def restart(self, delay: float) -> None:
         """(Re-)arm the timer ``delay`` seconds from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        if delay < 0:
+            raise SimulationError(
+                f"cannot arm a timer {delay} seconds in the past"
+            )
+        sim = self._sim
+        deadline = sim.now + delay
+        event = self._event
+        if event is not None and not event.cancelled:
+            if deadline >= event.time:
+                # Push-back: keep the heap entry, move the real deadline.
+                self._deadline = deadline
+                return
+            event.cancel()
+        self._deadline = deadline
+        self._event = sim.at(deadline, self._fire)
 
     def cancel(self) -> None:
         """Disarm without firing.  Idempotent."""
@@ -52,6 +74,11 @@ class Timer:
             self._event = None
 
     def _fire(self) -> None:
+        if self._deadline > self._sim.now:
+            # Stale early wake-up from a lazily pushed-back restart:
+            # re-arm for the remainder instead of firing.
+            self._event = self._sim.at(self._deadline, self._fire)
+            return
         self._event = None
         self._callback()
 

@@ -261,6 +261,9 @@ class DctcpSender:
     def _on_rto(self) -> None:
         if self.completed or self.in_flight == 0:
             return
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.count("timer")
         self.timeouts += 1
         self.ssthresh = max(2.0, self.cwnd / 2.0)
         self.cwnd = 1.0
@@ -291,6 +294,9 @@ class DctcpSender:
             if rate is not None:
                 now = self.sim.now
                 if now < self._next_send_time:
+                    profiler = self.sim.profiler
+                    if profiler is not None:
+                        profiler.count("pacing")
                     self._pace_timer.restart(self._next_send_time - now)
                     return
             is_retransmit = self.next_seq < self.snd_una  # never true; kept explicit

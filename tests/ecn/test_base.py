@@ -88,3 +88,28 @@ class TestNullMarker:
     def test_never_marks(self, sim):
         packet = run_one_packet(sim, NullMarker())
         assert packet.ce is False
+
+
+class TestSingleAttachment:
+    """Regression: re-attaching a marker to a second port used to pass
+    silently, corrupting per-port state (MQ-ECN round observers, phantom
+    queue rate accounting)."""
+
+    def _make_port(self, sim, marker):
+        return Port(sim, Link(sim, 1e9, 1e-6, Sink()), FifoScheduler(1),
+                    marker)
+
+    def test_attach_to_second_port_raises(self, sim):
+        marker = AlwaysMark()
+        self._make_port(sim, marker)
+        with pytest.raises(ValueError, match="already attached"):
+            self._make_port(sim, marker)
+
+    def test_reattach_to_same_port_is_idempotent(self, sim):
+        marker = AlwaysMark()
+        port = self._make_port(sim, marker)
+        marker.attach(port)  # same port: no error
+
+    def test_fresh_marker_per_port_is_fine(self, sim):
+        self._make_port(sim, AlwaysMark())
+        self._make_port(sim, AlwaysMark())

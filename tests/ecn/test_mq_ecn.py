@@ -111,3 +111,14 @@ class TestThresholdDynamics:
             port.enqueue(packet, 0)
         assert packets[-1].ce is True
         assert packets[0].ce is False
+
+
+class TestSingleAttachment:
+    def test_second_attach_raises_instead_of_stealing_observer(self, sim):
+        # Regression: a second attach used to silently re-point the
+        # marker's round observer and link capacity at the new port,
+        # leaving the first port's T_round estimate frozen.
+        marker = MqEcnMarker(rtt=RTT)
+        dwrr_port(sim, marker)
+        with pytest.raises(ValueError, match="already attached"):
+            dwrr_port(sim, marker)

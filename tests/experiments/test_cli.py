@@ -75,3 +75,32 @@ class TestNewCommands:
         assert main(["transports", "--duration", "0.006"]) == 0
         out = capsys.readouterr().out
         assert "dctcp" in out and "dcqcn" in out
+
+
+class TestSweepParallelFlags:
+    def test_jobs_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_defaults_to_profile_choice(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep"]).jobs is None
+
+    def test_scale_selects_profile(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--scale", "tiny"])
+        assert args.scale == "tiny"
+
+    def test_profile_flag_enables_profiler(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "--profile"]).profile is True
+        assert parser.parse_args(["sweep"]).profile is False
+
+    def test_sweep_tiny_serial_equals_parallel(self, capsys):
+        argv = ["sweep", "--scale", "tiny", "--seed", "3"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out

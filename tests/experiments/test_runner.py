@@ -1,0 +1,86 @@
+"""Unit tests for the parallel experiment runner."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import available_jobs, run_parallel, seed_for
+
+
+def square(x):
+    return x * x
+
+
+def pid_of(_config):
+    return os.getpid()
+
+
+def seeded_stream(config):
+    """A worker whose output depends only on its config — the contract
+    every sweep worker must satisfy for jobs-invariant results."""
+    import random
+
+    base_seed, index = config
+    rng = random.Random(seed_for(base_seed, index))
+    return [rng.random() for _ in range(5)]
+
+
+class TestSeedFor:
+    def test_stable_across_calls(self):
+        assert seed_for(42, 7) == seed_for(42, 7)
+
+    def test_distinct_per_index(self):
+        seeds = {seed_for(42, index) for index in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_per_base(self):
+        assert seed_for(1, 0) != seed_for(2, 0)
+
+    def test_fits_in_signed_32_bits(self):
+        for index in range(100):
+            assert 0 <= seed_for(123456789, index) < 2**31
+
+
+class TestRunParallel:
+    def test_serial_preserves_order(self):
+        assert run_parallel(range(10), square, jobs=1) == [
+            x * x for x in range(10)]
+
+    def test_default_is_serial(self):
+        assert run_parallel([3, 4], square) == [9, 16]
+
+    def test_parallel_preserves_order(self):
+        assert run_parallel(range(20), square, jobs=4) == [
+            x * x for x in range(20)]
+
+    def test_jobs_zero_means_all_cores(self):
+        assert run_parallel(range(4), square, jobs=0) == [0, 1, 4, 9]
+
+    def test_empty_configs(self):
+        assert run_parallel([], square, jobs=4) == []
+
+    def test_single_config_stays_in_process(self):
+        assert run_parallel([7], pid_of, jobs=8) == [os.getpid()]
+
+    def test_parallel_uses_worker_processes(self):
+        pids = run_parallel(range(8), pid_of, jobs=4)
+        if os.getpid() in pids:
+            pytest.skip("platform fell back to serial execution")
+        assert len(set(pids)) >= 2
+
+    def test_results_identical_across_job_counts(self):
+        configs = [(42, index) for index in range(12)]
+        serial = run_parallel(configs, seeded_stream, jobs=1)
+        parallel = run_parallel(configs, seeded_stream, jobs=4)
+        assert serial == parallel
+
+    def test_generator_configs_are_materialized(self):
+        assert run_parallel((x for x in range(5)), square, jobs=2) == [
+            0, 1, 4, 9, 16]
+
+
+class TestAvailableJobs:
+    def test_at_least_one(self):
+        assert available_jobs() >= 1

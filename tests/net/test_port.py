@@ -196,3 +196,64 @@ class TestPoolIntegration:
         assert port_a.enqueue(make_data(1, 0, 1, 0), 0)
         assert not port_b.enqueue(make_data(2, 0, 1, 0), 0)
         assert port_b.drops == 1
+
+
+class TestReset:
+    """Regression: ``Simulator.clear()`` used to wedge a busy port.
+
+    ``clear()`` drops the pending ``_transmission_done`` event, so a port
+    that was mid-transmission stayed ``busy`` forever and never sent
+    another packet.  ``Port.reset()`` is the matching reset hook.
+    """
+
+    def test_clear_without_reset_wedges_port(self, sim):
+        port, sink = make_port(sim)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run(until=1e-6)  # mid-serialization: port is busy
+        assert port.busy
+        sim.clear()
+        # Without reset the port believes it is still transmitting and
+        # silently queues forever (the seed-code wedge).
+        port.enqueue(make_data(1, 0, 1, 1), 0)
+        sim.run()
+        assert sink.received == []
+
+    def test_reset_unwedges_port_after_clear(self, sim):
+        port, sink = make_port(sim)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run(until=1e-6)
+        assert port.busy
+        sim.clear()
+        port.reset()
+        assert not port.busy
+        assert port.packet_count == 0
+        assert port.byte_count == 0
+        port.enqueue(make_data(1, 0, 1, 1), 0)
+        sim.run()
+        assert [packet.seq for packet in sink.received] == [1]
+
+    def test_reset_credits_shared_pool(self, sim):
+        pool = BufferPool(capacity_packets=10)
+        port, _sink = make_port(sim, n_queues=2, pool=pool)
+        port.enqueue(make_data(1, 0, 1, 0, service=0), 0)
+        port.enqueue(make_data(2, 0, 1, 0, service=1), 1)
+        assert pool.packet_count == 2
+        port.reset()
+        assert pool.packet_count == 0
+        assert port.queue_packet_count(0) == 0
+        assert port.queue_packet_count(1) == 0
+
+    def test_reset_preserves_cumulative_stats(self, sim):
+        port, _sink = make_port(sim)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        assert port.tx_packets == 1
+        port.reset()
+        assert port.tx_packets == 1
+
+    def test_reset_on_idle_port_is_harmless(self, sim):
+        port, sink = make_port(sim)
+        port.reset()
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        assert len(sink.received) == 1

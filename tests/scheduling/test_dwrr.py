@@ -115,3 +115,36 @@ class TestDwrr:
         observed = served[0] / max(served[1], 1)
         # Within one quantum per queue of the ideal share.
         assert observed == pytest.approx(expected, rel=0.35)
+
+
+class TestRoundBookkeepingAcrossRetire:
+    """Regression: a queue that drains, retires and re-activates within a
+    round used to stay in ``_served_this_round``, so its next visit fired
+    ``round_observer`` one service too early — mid-round — skewing
+    MQ-ECN's T_round estimate low."""
+
+    def test_reactivated_queue_does_not_end_round_early(self):
+        scheduler = DwrrScheduler(2)
+        rounds, served = [], []
+        scheduler.round_observer = lambda: rounds.append(len(served))
+        fill(scheduler, 0, 1)
+        fill(scheduler, 1, 2)
+        served.append(scheduler.dequeue())  # q0 drains and retires
+        served.append(scheduler.dequeue())  # q1, one packet left
+        scheduler.enqueue(0, make_data(1, 0, 1, 9))  # q0 re-activates
+        served.append(scheduler.dequeue())  # q0 again — same round!
+        served.append(scheduler.dequeue())  # q1 — genuine new round
+        assert [queue for queue, _ in served] == [0, 1, 0, 1]
+        # The boundary must fall at q1's second visit (after 3 services),
+        # not at q0's re-activation (after 2, the seed behaviour).
+        assert rounds == [3]
+
+    def test_full_drain_still_resets_round_state(self):
+        scheduler = DwrrScheduler(2)
+        rounds = []
+        scheduler.round_observer = lambda: rounds.append(True)
+        fill(scheduler, 0, 1)
+        scheduler.dequeue()  # backlog fully drains
+        fill(scheduler, 0, 1)
+        scheduler.dequeue()  # fresh backlog: first visit is not a round end
+        assert rounds == []

@@ -65,3 +65,26 @@ class TestWrr:
         scheduler = WrrScheduler(2, weights=[2, 1])
         assert scheduler.queue_quantum(0) == 2 * 1500
         assert scheduler.queue_quantum(1) == 1500
+
+
+class TestRoundBookkeepingAcrossRetire:
+    """Same latent bug as DWRR: a drained queue re-activating within the
+    round must not make its next visit look like a round boundary."""
+
+    def test_reactivated_queue_does_not_end_round_early(self):
+        scheduler = WrrScheduler(2, weights=[1, 2])
+        rounds, served = [], []
+        scheduler.round_observer = lambda: rounds.append(len(served))
+        scheduler.enqueue(0, make_data(1, 0, 1, 0))
+        for seq in range(1, 4):
+            scheduler.enqueue(1, make_data(1, 0, 1, seq))
+        served.append(scheduler.dequeue())  # q0 drains and retires
+        served.append(scheduler.dequeue())  # q1, first of its two-credit visit
+        scheduler.enqueue(0, make_data(1, 0, 1, 4))  # q0 re-activates mid-visit
+        served.append(scheduler.dequeue())  # q1, second credit, rotates
+        served.append(scheduler.dequeue())  # q0 again — same round!
+        served.append(scheduler.dequeue())  # q1 — genuine new round
+        assert [queue for queue, _ in served] == [0, 1, 1, 0, 1]
+        # Boundary at q1's revisit (after 4 services), not q0's
+        # re-activation (after 3, the seed behaviour).
+        assert rounds == [4]

@@ -190,3 +190,105 @@ class TestOrderingProperty:
                      if entries[i][1]}
         assert cancelled.isdisjoint(fired)
         assert set(fired) == set(range(len(entries))) - cancelled
+
+
+class TestHeapCompaction:
+    def test_cancelled_pending_counts_live_cancellations(self, sim):
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert sim.cancelled_pending == 4
+        sim.run()
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_idempotence_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.cancelled_pending == 1
+
+    def test_compaction_bounds_heap_under_cancel_churn(self, sim):
+        # The restart-heavy transport pattern: every entry is replaced by
+        # a cancelled ghost.  Without compaction the heap would hold all
+        # 10k dead entries until t=1.0.
+        sim.schedule(10.0, lambda: None)
+        for _ in range(10_000):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert sim.compactions > 0
+        assert sim.pending_events < 200
+        # Dead entries never exceed the compaction floor: below 64 heap
+        # entries compaction is deliberately suppressed (re-heapify costs
+        # more than it saves), so the debt is bounded by the floor itself.
+        assert sim.cancelled_pending <= max(sim.pending_events // 2, 64)
+
+    def test_compaction_preserves_execution_order(self, sim):
+        seen = []
+        events = []
+        for index in range(500):
+            delay = 1.0 + (index % 37) * 0.01
+            events.append((sim.schedule(delay, seen.append, index), index))
+        for event, index in events:
+            if index % 2:
+                event.cancel()
+        expected = [index for event, index in
+                    sorted(((e, i) for e, i in events if not e.cancelled),
+                           key=lambda pair: (pair[0].time, pair[0].seq))]
+        sim.run()
+        assert seen == expected
+
+    def test_pending_events_shrinks_on_compaction(self, sim):
+        keepers = [sim.schedule(2.0, lambda: None) for _ in range(10)]
+        victims = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+        before = sim.pending_events
+        for event in victims:
+            event.cancel()
+        # Dead entries dominated: the engine compacted without running.
+        assert sim.pending_events < before
+        assert sim.pending_events >= len(keepers)
+
+    def test_clear_resets_cancellation_accounting(self, sim):
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        events[0].cancel()
+        sim.clear()
+        assert sim.cancelled_pending == 0
+        # Cancelling an event that was dropped by clear() must not skew
+        # the accounting of the (now empty) heap.
+        events[1].cancel()
+        assert sim.cancelled_pending == 0
+
+
+class TestEventFreeList:
+    def test_unreferenced_events_are_recycled(self, sim):
+        for _ in range(50):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert len(sim._freelist) > 0
+        before = len(sim._freelist)
+        sim.schedule(0.1, lambda: None)
+        assert len(sim._freelist) == before - 1
+
+    def test_held_handles_are_never_recycled(self, sim):
+        held = sim.schedule(0.1, lambda: None)
+        sim.run()
+        fresh = sim.schedule(0.1, lambda: None)
+        assert fresh is not held
+
+    def test_stale_cancel_after_execution_is_harmless(self, sim):
+        seen = []
+        stale = sim.schedule(0.1, seen.append, "first")
+        sim.run()
+        stale.cancel()  # fired long ago; must not poison future events
+        sim.schedule(0.1, seen.append, "second")
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.cancelled_pending == 0
+
+    def test_recycled_events_fire_correctly(self, sim):
+        seen = []
+        for index in range(100):
+            sim.schedule(0.01 * (index + 1), seen.append, index)
+        sim.run()
+        for index in range(100):
+            sim.schedule(0.01 * (index + 1), seen.append, 100 + index)
+        sim.run()
+        assert seen == list(range(200))

@@ -136,3 +136,80 @@ class TestPeriodicTask:
         task.start()
         sim.run(until=10.0)
         assert ticks == [1.0, 2.0]
+
+
+class TestTimerLazyPushBack:
+    """Push-back to a *later* expiry must not touch the event heap."""
+
+    def test_push_back_reuses_heap_entry(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.restart(1.0)
+        assert sim.pending_events == 1
+        for extra in (2.0, 3.0, 4.0):
+            sim_restart = lambda delay=extra: timer.restart(delay)
+            sim_restart()
+            assert sim.pending_events == 1  # same entry, lazily deferred
+
+    def test_expires_at_reports_true_deadline(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.restart(1.0)
+        timer.restart(3.0)
+        assert timer.expires_at == 3.0
+
+    def test_deferred_timer_fires_at_true_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        timer.restart(3.0)  # heap entry stays at t=1.0; fire must re-arm
+        sim.run()
+        assert fired == [3.0]
+
+    def test_repeated_push_back_under_churn(self, sim):
+        # The RTO-per-ACK pattern: hundreds of restarts, each later than
+        # the last.  The heap must hold exactly one live entry throughout.
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        for step in range(1, 200):
+            sim.at(step * 0.004, lambda s=step: timer.restart(1.0))
+        sim.run()
+        assert fired == [pytest.approx(199 * 0.004 + 1.0)]
+        assert sim.compactions == 0  # no dead entries were ever created
+
+    def test_earlier_restart_still_moves_expiry_forward(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(5.0)
+        timer.restart(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancel_after_push_back(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        timer.restart(3.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+        assert timer.expires_at is None
+
+    def test_restart_inside_stale_fire_window(self, sim):
+        # Push back, then restart again between the stale heap time and
+        # the true deadline; the internal re-arm must honour the newest
+        # deadline.
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(1.0)
+        timer.restart(2.0)
+        sim.at(1.5, lambda: timer.restart(2.0))
+        sim.run()
+        assert fired == [3.5]
+
+    def test_negative_delay_rejected(self, sim):
+        from repro.sim.engine import SimulationError
+
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.restart(-1.0)

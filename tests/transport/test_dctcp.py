@@ -318,3 +318,65 @@ class TestNicDrops:
         sender = DctcpSender(sim, host, flow, DctcpConfig(init_cwnd=2.0))
         sender.start()
         assert sender.nic_drops == 2
+
+
+class TestPacedRtoInvariant:
+    """The pacing stall path in ``_try_send`` returns before the trailing
+    RTO-arming check; these tests prove the invariant "RTO armed whenever
+    ``in_flight > 0``" survives that early return."""
+
+    def test_rto_armed_when_pacing_stalls_initial_burst(self, sim):
+        # Pace at 1 packet per ~11.6 ms so the second packet of the burst
+        # stalls: _try_send takes the early return with one packet out.
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=8.0, rate_limit_bps=1e6)
+        assert len(host.sent) == 1
+        assert sender.in_flight == 1
+        assert sender._rto_timer.armed
+
+    def test_rto_rearmed_by_ack_during_pacing_stall(self, sim):
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=4.0, rate_limit_bps=1e6)
+        ack(sender, host.sent[0], 1)
+        assert sender.in_flight > 0 or sender.next_seq == sender.snd_una
+        if sender.in_flight > 0:
+            assert sender._rto_timer.armed
+
+    def test_rto_armed_throughout_paced_run(self, sim):
+        # Drive a paced sender through its whole life with a lossy host
+        # (FakeHost captures instead of delivering), stepping the engine
+        # one event at a time and checking the invariant between events:
+        # the RTO must always be pending while data is unacknowledged,
+        # otherwise a tail loss under pacing would hang the flow forever.
+        sender, host, _flow = make_sender(
+            sim, size_packets=12, init_cwnd=4.0, rate_limit_bps=20e6)
+        checked = 0
+        for _ in range(10_000):
+            if sim.run(max_events=1) == 0:
+                break
+            if sender.completed:
+                break
+            if sender.in_flight > 0:
+                assert sender._rto_timer.armed, (
+                    f"RTO disarmed with {sender.in_flight} in flight "
+                    f"at t={sim.now}")
+                checked += 1
+            # Feed ACKs back with a delay so pacing stalls and ACK
+            # processing interleave.
+            while host.sent:
+                packet = host.sent.pop(0)
+                sim.schedule(50e-6, ack, sender, packet, packet.seq + 1)
+        assert checked > 0
+        assert sender.completed
+
+    def test_pacing_stall_then_rto_retransmits(self, sim):
+        # Nothing is ever ACKed: the stalled sender must still fire its
+        # RTO and go-back-N rather than hang (the invariant's payoff).
+        sender, host, _flow = make_sender(
+            sim, init_cwnd=8.0, rate_limit_bps=1e6, min_rto=0.01)
+        first_burst = len(host.sent)
+        sim.run(until=0.05)
+        assert sender.timeouts > 0
+        assert len(host.sent) > first_burst
+        # Go-back-N rewound to the first unacked packet and re-sent it.
+        assert sum(1 for packet in host.sent if packet.seq == 0) >= 2
