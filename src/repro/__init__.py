@@ -78,7 +78,7 @@ from .scheduling import (
     WfqScheduler,
     WrrScheduler,
 )
-from .sim import Simulator, make_rng
+from .sim import FabricAuditor, InvariantViolation, Simulator, make_rng
 from .transport import (
     ClassicEcnSender,
     DctcpConfig,
@@ -103,11 +103,13 @@ __all__ = [
     "DctcpSender",
     "DwrrScheduler",
     "EcnFilter",
+    "FabricAuditor",
     "FctCollector",
     "FifoScheduler",
     "Flow",
     "FlowHandle",
     "Host",
+    "InvariantViolation",
     "Link",
     "MTU_BYTES",
     "MarkPoint",

@@ -309,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds for static experiments")
         cmd.add_argument("--json", help="write results as JSON")
         cmd.add_argument("--csv", help="write row results as CSV")
+        cmd.add_argument("--audit", action="store_true",
+                         help="run under the fabric invariant auditor "
+                              "(cross-layer conservation checks; raises "
+                              "on the first violation)")
         if name == "sweep":
             cmd.add_argument("--scheduler", choices=("dwrr", "wfq"),
                              default="dwrr")
@@ -339,7 +343,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:10s} {help_text}")
         return 0
     fn, _help = COMMANDS[args.command]
-    payload = fn(args)
+    if getattr(args, "audit", False):
+        # Flip the process-wide default so every simulation the command
+        # builds — including ones created deep inside experiment helpers
+        # — attaches a FabricAuditor.
+        from .sim.audit import set_audit_default
+        set_audit_default(True)
+        try:
+            payload = fn(args)
+        finally:
+            set_audit_default(False)
+    else:
+        payload = fn(args)
     if payload is not None:
         _maybe_export(args, payload)
     return 0

@@ -66,6 +66,11 @@ class PmsbMarker(Marker):
         #: spared by selective blindness — the protected victims.
         self.victims_protected = 0
 
+    def on_reset(self, port: "Port") -> None:
+        # §IV-C averaged-occupancy variant: the port EWMA tracks the
+        # discarded buffer contents, so it restarts from empty.
+        self._avg_port = 0.0
+
     def port_occupancy(self, port: "Port") -> float:
         """The occupancy compared against the port threshold
         (instantaneous, or EWMA when ``average_weight`` is set)."""

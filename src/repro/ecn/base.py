@@ -73,6 +73,18 @@ class Marker:
             )
         self._attached_port = port
 
+    def on_reset(self, port: "Port") -> None:
+        """Called by :meth:`repro.net.port.Port.reset`.
+
+        Stateful schemes (MQ-ECN round estimates, phantom queues, RED
+        averages, PMSB occupancy EWMAs) override this to discard their
+        per-port dynamic state so a reused port behaves like a freshly
+        built one; cumulative statistics (``packets_marked``,
+        ``packets_seen``) are preserved, mirroring the port's own
+        counters.  The base implementation is a no-op — stateless
+        markers need nothing.
+        """
+
     @property
     def mark_fraction(self) -> float:
         """Fraction of ECN-capable packets this marker has marked."""

@@ -78,6 +78,14 @@ class MqEcnMarker(Marker):
             self.t_idle = MTU_BYTES * 8.0 / self._capacity_bps
         port.scheduler.round_observer = self._on_round
 
+    def on_reset(self, port: "Port") -> None:
+        # Round bookkeeping is per-traffic-epoch: a reset port starts
+        # from the permissive standard threshold, exactly like the
+        # T_idle path, instead of carrying a stale round estimate into
+        # the next sweep iteration.
+        self._t_round = 0.0
+        self._last_round_start = None
+
     # -- round-time estimation -------------------------------------------
 
     def _on_round(self) -> None:

@@ -48,6 +48,12 @@ class PhantomQueueMarker(Marker):
         super().attach(port)
         self._drain_Bps = self.drain_factor * port.link.bandwidth / 8.0
 
+    def on_reset(self, port: "Port") -> None:
+        # The virtual queue drains with the discarded real one; anchoring
+        # the leak clock at now prevents a huge retroactive leak window.
+        self._phantom_bytes = 0.0
+        self._last_update = port.sim.now
+
     @property
     def phantom_bytes(self) -> float:
         """Current virtual-queue depth (bytes, before leak update)."""

@@ -77,6 +77,12 @@ class RedMarker(Marker):
             mark_point=mark_point,
         )
 
+    def on_reset(self, port: "Port") -> None:
+        # The EWMA and the count correction describe the discarded
+        # queue; a reused port starts from an empty average.
+        self._avg = 0.0
+        self._count = 0
+
     @property
     def average_queue(self) -> float:
         """Current EWMA of the watched occupancy (packets)."""

@@ -36,6 +36,8 @@ class BufferPool:
         self.capacity_packets = capacity_packets
         self.packet_count = 0
         self.byte_count = 0
+        #: Failed admissions, charged by the port at the drop site
+        #: (:meth:`admits` itself is pure).
         self.rejections = 0
 
     @property
@@ -46,11 +48,15 @@ class BufferPool:
 
     def admits(self, port_occupancy: int) -> bool:
         """May a port currently holding ``port_occupancy`` packets admit
-        one more?  Counts rejections."""
-        if self.is_full:
-            self.rejections += 1
-            return False
-        return True
+        one more?
+
+        A **pure** query: any caller (metrics probe, the invariant
+        auditor, a what-if policy evaluation) may call it speculatively
+        without perturbing statistics.  The drop site —
+        :meth:`repro.net.port.Port.enqueue` — charges ``rejections``
+        when an actual admission fails.
+        """
+        return not self.is_full
 
     def add(self, nbytes: int) -> None:
         self.packet_count += 1
@@ -90,10 +96,7 @@ class DynamicThresholdPool(BufferPool):
         return self.alpha * max(0, free)
 
     def admits(self, port_occupancy: int) -> bool:
-        if not self.is_full and port_occupancy < self.threshold():
-            return True
-        self.rejections += 1
-        return False
+        return not self.is_full and port_occupancy < self.threshold()
 
 
 class ServicePoolMarker(Marker):

@@ -32,6 +32,7 @@ from ..net.switch import Switch
 from ..net.topology import DEFAULT_LINK_DELAY, Network, single_bottleneck
 from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.fifo import FifoScheduler
+from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
 from ..transport.base import DctcpConfig
 from ..transport.endpoints import open_flow
@@ -106,11 +107,18 @@ def _dual_port_network(
     return network
 
 
+def _attach_auditor(sim: Simulator,
+                    audit: Optional[bool]) -> Optional[FabricAuditor]:
+    """Shared opt-in audit wiring for the extension builders."""
+    return FabricAuditor(sim) if audit_enabled(audit) else None
+
+
 def service_pool_victim(
     pool_threshold: float = 16.0,
     flows_port_b: int = 8,
     link_rate: float = 10e9,
     duration: float = 0.03,
+    audit: Optional[bool] = None,
 ) -> PoolVictimResult:
     """Validate the paper's per-service-pool conjecture.
 
@@ -120,6 +128,7 @@ def service_pool_victim(
     should instead throttle port A's flow because port B fills the pool.
     """
     sim = Simulator()
+    auditor = _attach_auditor(sim, audit)
     pool = BufferPool(name="service-pool")
 
     def pooled_port(dst_host, name):
@@ -130,12 +139,16 @@ def service_pool_victim(
 
     n_senders = 1 + flows_port_b
     network = _dual_port_network(sim, n_senders, pooled_port, link_rate)
+    if auditor is not None:
+        auditor.attach_network(network)
     receiver_a = n_senders
     receiver_b = n_senders + 1
     handles = [open_flow(network, Flow(src=0, dst=receiver_a))]
     for sender in range(1, n_senders):
         handles.append(open_flow(network, Flow(src=sender, dst=receiver_b)))
     sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
 
     window = duration - duration / 3
     port_a, port_b = network.switches[0].ports[0], network.switches[0].ports[1]
@@ -178,6 +191,7 @@ def pmsbe_coexistence(
     flows_queue2: int = 8,
     link_rate: float = 10e9,
     duration: float = 0.03,
+    audit: Optional[bool] = None,
 ) -> CoexistenceResult:
     """§V-B deployability: upgrade *only* the victim sender to PMSB(e).
 
@@ -189,12 +203,15 @@ def pmsbe_coexistence(
     from ..ecn.per_port import PerPortMarker
 
     sim = Simulator()
+    auditor = _attach_auditor(sim, audit)
     network = single_bottleneck(
         sim, 1 + flows_queue2,
         scheduler_factory=lambda: DwrrScheduler(2),
         marker_factory=lambda: PerPortMarker(port_threshold),
         link_rate=link_rate,
     )
+    if auditor is not None:
+        auditor.attach_network(network)
     meter = ThroughputMeter(sim, bin_width=1e-3)
     meter.attach_port(network.bottleneck_port)
 
@@ -209,6 +226,8 @@ def pmsbe_coexistence(
             config = DctcpConfig()
         handles.append(open_flow(network, flow, config))
     sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
 
     victim_sender = handles[0].sender
     filtered = getattr(victim_sender.ecn_filter, "marks_ignored", 0)
@@ -249,6 +268,7 @@ def microburst_absorption(
     n_hog_flows: int = 4,
     link_rate: float = 10e9,
     duration: float = 0.05,
+    audit: Optional[bool] = None,
 ) -> MicroburstResult:
     """Incast micro-burst into port B while port A may be hogging buffer.
 
@@ -289,6 +309,9 @@ def microburst_absorption(
 
     n_senders = n_hog_flows + burst_fanin
     network = _dual_port_network(sim, n_senders, output_port, link_rate)
+    auditor = _attach_auditor(sim, audit)
+    if auditor is not None:
+        auditor.attach_network(network)
     receiver_a = n_senders
     receiver_b = n_senders + 1
 
@@ -314,6 +337,8 @@ def microburst_absorption(
             on_complete=collector.on_complete,
         )
     sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
 
     port_b = network.switches[0].ports[1]
     hog_bytes = sum(h.receiver.bytes_received for h in hog_handles)
@@ -359,6 +384,7 @@ def transport_agnostic_victim(
     flows_queue2: int = 8,
     link_rate: float = 10e9,
     duration: float = 0.03,
+    audit: Optional[bool] = None,
 ) -> TransportVictimResult:
     """The 1:8 victim scenario with a window- or rate-based transport.
 
@@ -381,12 +407,15 @@ def transport_agnostic_victim(
         raise ValueError(f"unknown transport {transport!r}")
 
     sim = Simulator()
+    auditor = _attach_auditor(sim, audit)
     network = single_bottleneck(
         sim, 1 + flows_queue2,
         scheduler_factory=lambda: DwrrScheduler(2),
         marker_factory=marker_factory,
         link_rate=link_rate,
     )
+    if auditor is not None:
+        auditor.attach_network(network)
     meter = ThroughputMeter(sim, bin_width=1e-3)
     meter.attach_port(network.bottleneck_port)
     for flow in incast_flows([1, flows_queue2]):
@@ -395,6 +424,8 @@ def transport_agnostic_victim(
         else:
             open_flow(network, flow, DctcpConfig())
     sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
     return TransportVictimResult(
         transport=transport,
         marker=marker,
@@ -426,6 +457,7 @@ def incast_sweep(
     buffer_packets: int = 128,
     link_rate: float = 10e9,
     duration: float = 0.1,
+    audit: Optional[bool] = None,
 ) -> "List[IncastRow]":
     """The classic partition/aggregate incast microbenchmark.
 
@@ -443,10 +475,13 @@ def incast_sweep(
     rows: "List[IncastRow]" = []
     for fanin in fanins:
         sim = Simulator()
+        auditor = _attach_auditor(sim, audit)
         network = single_bottleneck(
             sim, fanin, lambda: DwrrScheduler(2), scheme.marker_factory,
             link_rate=link_rate, buffer_packets=buffer_packets,
         )
+        if auditor is not None:
+            auditor.attach_network(network)
         collector = FctCollector()
         handles = []
         for sender in range(fanin):
@@ -458,6 +493,8 @@ def incast_sweep(
                 on_complete=collector.on_complete,
             ))
         sim.run(until=duration)
+        if auditor is not None:
+            auditor.verify_fabric()
         fcts = collector.fcts()
         rows.append(
             IncastRow(

@@ -26,6 +26,7 @@ from ..metrics.stats import SummaryStats
 from ..net.topology import leaf_spine
 from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.wfq import WfqScheduler
+from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
 from ..sim.rng import make_rng
 from ..transport.endpoints import open_flow
@@ -137,6 +138,7 @@ def run_fct_point(
     fat_tree_k: int = 4,
     size_scale: Optional[float] = None,
     profile_events: bool = False,
+    audit: Optional[bool] = None,
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
@@ -147,6 +149,8 @@ def run_fct_point(
     ``size_scale`` so the small/large class boundaries scale with it.
     With ``profile_events`` a :class:`~repro.sim.profile.SimProfiler`
     rides along and its plain-text report is printed after the run.
+    ``audit`` attaches a :class:`~repro.sim.audit.FabricAuditor` across
+    the whole fabric (None defers to the process default).
     """
     if topology == "leaf-spine":
         scheme = largescale_scheme(scheme_name, profile.link_rate,
@@ -158,6 +162,7 @@ def run_fct_point(
         raise ValueError(f"unknown topology {topology!r}")
     rng = make_rng(seed)
     sim = Simulator()
+    auditor = FabricAuditor(sim) if audit_enabled(audit) else None
     profiler = None
     if profile_events:
         from ..sim.profile import SimProfiler
@@ -178,6 +183,8 @@ def run_fct_point(
             n_leaf=n_leaf, n_spine=n_spine, hosts_per_leaf=hosts_per_leaf,
             link_rate=profile.link_rate,
         )
+    if auditor is not None:
+        auditor.attach_network(network)
     if size_distribution is None:
         size_distribution = PAPER_MIX.scaled(profile.size_scale)
         size_scale = profile.size_scale
@@ -198,6 +205,8 @@ def run_fct_point(
     chunk = max(profile.time_cap / 100.0, 1e-3)
     while len(collector) < len(flows) and sim.now < deadline:
         sim.run(until=min(sim.now + chunk, deadline))
+    if auditor is not None:
+        auditor.verify_fabric()
 
     if profiler is not None:
         profiler.stop()
@@ -256,9 +265,10 @@ def run_fct_point_multi(
 
 def _sweep_worker(point) -> FctRow:
     """Module-level (picklable) worker for one sweep point."""
-    scheme_name, scheduler_name, load, profile, seed, profile_events = point
+    (scheme_name, scheduler_name, load, profile, seed, profile_events,
+     audit) = point
     return run_fct_point(scheme_name, scheduler_name, load, profile, seed,
-                         profile_events=profile_events)
+                         profile_events=profile_events, audit=audit)
 
 
 def run_fct_sweep(
@@ -268,6 +278,7 @@ def run_fct_sweep(
     seed: int = 1,
     jobs: Optional[int] = None,
     profile_events: bool = False,
+    audit: Optional[bool] = None,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
@@ -285,8 +296,11 @@ def run_fct_sweep(
 
     if jobs is None:
         jobs = profile.jobs
+    # The audit choice is resolved here and shipped inside each point so
+    # worker processes need not share this process's audit default.
     points = [
-        (name, scheduler_name, load, profile, seed, profile_events)
+        (name, scheduler_name, load, profile, seed, profile_events,
+         audit_enabled(audit))
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

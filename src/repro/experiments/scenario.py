@@ -28,6 +28,7 @@ from ..metrics.throughput import ThroughputMeter
 from ..net.packet import MTU_BYTES
 from ..net.topology import Network, single_bottleneck
 from ..scheduling.base import Scheduler
+from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
 from ..transport.base import DctcpConfig
 from ..transport.endpoints import FlowHandle, open_flow
@@ -200,19 +201,26 @@ def run_incast(
     rate_limits: Optional[Dict[int, float]] = None,
     init_cwnd: float = 16.0,
     buffer_packets: int = 1000,
+    audit: Optional[bool] = None,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
     ``rate_limits`` maps flow *src host id* → pacing rate (the paper's
     "start a 5 Gbps TCP flow" sources).  Throughput is averaged over the
-    post-warmup window.
+    post-warmup window.  ``audit`` attaches a
+    :class:`~repro.sim.audit.FabricAuditor` to the whole fabric and runs
+    a final conservation pass (None defers to the process default the
+    CLI's ``--audit`` flag sets).
     """
     n_senders = max(flow.src for flow in flows) + 1
     sim = Simulator()
+    auditor = FabricAuditor(sim) if audit_enabled(audit) else None
     network = single_bottleneck(
         sim, n_senders, scheduler_factory, scheme.marker_factory,
         link_rate=link_rate, buffer_packets=buffer_packets,
     )
+    if auditor is not None:
+        auditor.attach_network(network)
     meter = ThroughputMeter(sim, bin_width=duration / 100.0)
     meter.attach_port(network.bottleneck_port)
     trace = QueueOccupancyTrace(network.bottleneck_port) if trace_occupancy else None
@@ -225,6 +233,8 @@ def run_incast(
         )
         handles.append(open_flow(network, flow, config))
     sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
 
     warmup = duration * warmup_fraction
     n_queues = network.bottleneck_port.n_queues

@@ -144,13 +144,16 @@ class Port:
         if (
             self.buffer_packets is not None
             and self._packet_count >= self.buffer_packets
-        ) or (self.pool is not None
-              and not self.pool.admits(self._packet_count)):
-            self.drops += 1
-            self.queue_drops[queue_index] += 1
-            for listener in self.drop_listeners:
-                listener(self, queue_index, packet)
-            return False
+        ):
+            return self._drop(queue_index, packet)
+        if self.pool is not None and not self.pool.admits(self._packet_count):
+            # ``admits`` is a pure query; the pool's rejection statistic
+            # is charged here, at the drop site, so speculative callers
+            # (metrics probes, the auditor) cannot corrupt it.  A port
+            # whose own buffer was already full never reaches this point
+            # — buffer drops are not pool rejections.
+            self.pool.rejections += 1
+            return self._drop(queue_index, packet)
         self._packet_count += 1
         self._byte_count += packet.size
         self._queue_packets[queue_index] += 1
@@ -165,6 +168,13 @@ class Port:
         if not self.busy:
             self._transmit_next()
         return True
+
+    def _drop(self, queue_index: int, packet: Packet) -> bool:
+        self.drops += 1
+        self.queue_drops[queue_index] += 1
+        for listener in self.drop_listeners:
+            listener(self, queue_index, packet)
+        return False
 
     def _transmit_next(self) -> None:
         item = self.scheduler.dequeue()
@@ -212,8 +222,12 @@ class Port:
         leave ``busy`` latched forever — the port would never transmit
         again — and leak buffer/pool occupancy.  ``reset`` cancels the
         in-flight transmission, discards all queued packets, zeroes the
-        occupancy accounting and credits any shared pool.  Cumulative
-        statistics (``tx_packets``, ``drops``, …) are preserved.
+        occupancy accounting, credits any shared pool, clears the
+        marker's per-port state (:meth:`~repro.ecn.base.Marker.on_reset`)
+        and re-anchors ``last_departure`` at the current time so idle
+        detection does not compare against a pre-reset departure.
+        Cumulative statistics (``tx_packets``, ``drops``, …) are
+        preserved.
         """
         if self._tx_event is not None:
             self._tx_event.cancel()
@@ -222,12 +236,20 @@ class Port:
         if self.pool is not None and self._packet_count:
             self.pool.packet_count -= self._packet_count
             self.pool.byte_count -= self._byte_count
-        self.scheduler.clear()
+        # Occupancy counters are zeroed before the scheduler drops its
+        # packets so observers of ``scheduler.clear`` (the auditor) never
+        # see the port counting packets the scheduler already discarded.
         self._packet_count = 0
         self._byte_count = 0
         for queue_index in range(self.scheduler.n_queues):
             self._queue_packets[queue_index] = 0
             self._queue_bytes[queue_index] = 0
+        self.scheduler.clear()
+        self.marker.on_reset(self)
+        self.last_departure = self.sim.now
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.on_port_reset(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

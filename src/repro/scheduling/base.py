@@ -55,6 +55,12 @@ class Scheduler:
         #: argument — at each round boundary.  Only round-based schedulers
         #: ever invoke it.
         self.round_observer: Optional[Callable[[], None]] = None
+        #: Invoked (no arguments) at the end of every :meth:`clear` —
+        #: the auditor's hook for catching a ``clear()`` that bypasses
+        #: :meth:`repro.net.port.Port.reset`.  Subclass ``clear``
+        #: overrides run their own state reset after ``super().clear()``
+        #: returns, so the observer must not inspect subclass state.
+        self.clear_observer: Optional[Callable[[], None]] = None
 
     def __len__(self) -> int:
         return self._total_packets
@@ -87,6 +93,8 @@ class Scheduler:
         for queue in self._queues:
             queue.clear()
         self._total_packets = 0
+        if self.clear_observer is not None:
+            self.clear_observer()
 
     # -- helpers for subclasses ------------------------------------------
 

@@ -1,19 +1,24 @@
 """Discrete-event simulation engine (event loop, timers, deterministic RNG)."""
 
 from .engine import Event, SimulationError, Simulator
+from .audit import FabricAuditor, InvariantViolation, audit_enabled, set_audit_default
 from .profile import HeapSample, SimProfiler
 from .rng import make_rng, spawn, stable_hash
 from .timers import PeriodicTask, Timer
 
 __all__ = [
     "Event",
+    "FabricAuditor",
     "HeapSample",
+    "InvariantViolation",
     "PeriodicTask",
     "SimProfiler",
     "SimulationError",
     "Simulator",
     "Timer",
+    "audit_enabled",
     "make_rng",
+    "set_audit_default",
     "spawn",
     "stable_hash",
 ]

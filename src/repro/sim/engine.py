@@ -41,6 +41,7 @@ import sys
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .audit import FabricAuditor
     from .profile import SimProfiler
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -127,7 +128,7 @@ class Simulator:
 
     __slots__ = (
         "_heap", "_now", "_seq", "_events_processed", "_running",
-        "_cancelled", "_compactions", "_freelist", "profiler",
+        "_cancelled", "_compactions", "_freelist", "profiler", "auditor",
     )
 
     def __init__(self) -> None:
@@ -142,6 +143,10 @@ class Simulator:
         #: Optional :class:`~repro.sim.profile.SimProfiler`; hot-path
         #: components check it for None before reporting counters.
         self.profiler: Optional["SimProfiler"] = None
+        #: Optional :class:`~repro.sim.audit.FabricAuditor`; installed
+        #: by its constructor.  When None (the default) no audit hook
+        #: exists anywhere on the datapath.
+        self.auditor: Optional["FabricAuditor"] = None
 
     @property
     def now(self) -> float:
@@ -298,3 +303,5 @@ class Simulator:
             event.in_heap = False
         self._heap.clear()
         self._cancelled = 0
+        if self.auditor is not None:
+            self.auditor.on_clear()

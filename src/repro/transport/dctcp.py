@@ -220,6 +220,15 @@ class DctcpSender:
     def _on_new_ack(self, ack_seq: int, grow: bool) -> None:
         newly_acked = ack_seq - self.snd_una
         self.snd_una = ack_seq
+        if self.next_seq < self.snd_una:
+            # An RTO rewound next_seq to the old snd_una while ACKs for the
+            # original (pre-rewind) transmissions were still in flight; this
+            # late ACK just acknowledged past the rewind point.  The acked
+            # data was genuinely sent, so resume transmission at the
+            # cumulative point — never below it (snd_una <= next_seq must
+            # hold, or in_flight goes negative and already-acked sequence
+            # numbers get resent).
+            self.next_seq = self.snd_una
         self.dup_acks = 0
         if self.in_recovery and self.snd_una >= self._recover_seq:
             self.in_recovery = False
@@ -299,7 +308,7 @@ class DctcpSender:
                         profiler.count("pacing")
                     self._pace_timer.restart(self._next_send_time - now)
                     return
-            is_retransmit = self.next_seq < self.snd_una  # never true; kept explicit
+            is_retransmit = self.next_seq < self.snd_una  # guarded in _on_new_ack
             self._transmit(self.next_seq, retransmit=is_retransmit)
             self.next_seq += 1
         if self.in_flight > 0 and not self._rto_timer.armed:

@@ -68,7 +68,11 @@ def open_flow(
         sim.at(flow.start_time, sender.start)
     else:
         sim.schedule(0.0, sender.start)
-    return FlowHandle(flow, sender, receiver)
+    handle = FlowHandle(flow, sender, receiver)
+    if sim.auditor is not None:
+        # Re-registers the handlers wrapped with transport validators.
+        sim.auditor.watch_flow(handle)
+    return handle
 
 
 def open_flows(

@@ -82,3 +82,34 @@ class TestDynamicThreshold:
             port.enqueue(make_data(1, 0, 1, seq), 0)
         assert pool.rejections > 0
         assert port.drops == pool.rejections
+
+
+class TestAdmitsIsPure:
+    """Regression: ``admits()`` used to bump ``rejections`` as a side
+    effect, so any speculative caller (a metrics probe, the auditor's
+    drop-legality check) corrupted the rejection statistic."""
+
+    @pytest.mark.parametrize("pool_factory", [
+        lambda: BufferPool(capacity_packets=1),
+        lambda: DynamicThresholdPool(1, alpha=1.0),
+    ])
+    def test_probing_admits_does_not_count(self, sim, pool_factory):
+        pool = pool_factory()
+        port = pooled_port(sim, pool)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        before = pool.rejections
+        for _ in range(50):
+            assert not pool.admits(port.packet_count)
+        assert pool.rejections == before
+
+    def test_rejection_count_pinned_under_probing(self, sim):
+        # Interleave speculative probes with real enqueues: only the
+        # actual drops may count.
+        pool = DynamicThresholdPool(10, alpha=1.0)
+        port = pooled_port(sim, pool)
+        for seq in range(20):
+            pool.admits(port.packet_count)  # probe
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+            pool.admits(port.packet_count)  # probe again
+        assert pool.rejections > 0
+        assert port.drops == pool.rejections

@@ -77,6 +77,26 @@ class TestNewCommands:
         assert "dctcp" in out and "dcqcn" in out
 
 
+class TestAuditFlag:
+    def test_every_command_accepts_audit(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            assert parser.parse_args([name, "--audit"]).audit is True
+            assert parser.parse_args([name]).audit is False
+
+    def test_audit_default_scoped_to_command(self, capsys):
+        from repro.sim.audit import audit_enabled
+
+        assert main(["fig3", "--duration", "0.006", "--audit"]) == 0
+        assert "queue 1" in capsys.readouterr().out
+        # The process-wide default is restored after the command returns.
+        assert audit_enabled() is False
+
+    def test_fig8_under_audit(self, capsys):
+        assert main(["fig8", "--duration", "0.006", "--audit"]) == 0
+        assert "q1" in capsys.readouterr().out
+
+
 class TestSweepParallelFlags:
     def test_jobs_flag(self):
         parser = build_parser()

@@ -257,3 +257,80 @@ class TestReset:
         port.enqueue(make_data(1, 0, 1, 0), 0)
         sim.run()
         assert len(sink.received) == 1
+
+    def test_reset_reanchors_last_departure(self, sim):
+        # Regression: reset used to leave ``last_departure`` pointing at
+        # the pre-reset epoch, so idle-gap logic (MQ-ECN's T_idle check)
+        # compared against a departure from a different traffic epoch.
+        port, _sink = make_port(sim)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        sim.run()
+        departed = port.last_departure
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now > departed
+        port.reset()
+        assert port.last_departure == sim.now
+        assert port.last_departure != departed
+
+    def test_reset_calls_marker_on_reset(self, sim):
+        class ResetRecorder(Marker):
+            def __init__(self):
+                super().__init__(MarkPoint.ENQUEUE)
+                self.resets = []
+
+            def decide(self, port, queue_index, packet):
+                return False
+
+            def on_reset(self, port):
+                self.resets.append(port)
+
+        marker = ResetRecorder()
+        port, _sink = make_port(sim, marker=marker)
+        port.reset()
+        assert marker.resets == [port]
+
+
+class TestResetClearsMarkerState:
+    """Regression: marker per-epoch state used to survive ``reset()``.
+
+    An MQ-ECN marker carried its smoothed ``T_round`` (and the pending
+    round-start timestamp) across a sweep's reset boundary, so the first
+    packets of the next iteration were judged against the previous
+    iteration's round time instead of the permissive cold-start
+    threshold.
+    """
+
+    def _mq_ecn_port(self, sim):
+        from repro.ecn.mq_ecn import MqEcnMarker
+        from repro.scheduling.dwrr import DwrrScheduler
+
+        marker = MqEcnMarker(rtt=50e-6)
+        link = Link(sim, 1e9, 1e-6, Sink())
+        port = Port(sim, link, DwrrScheduler(2), marker)
+        return port, marker
+
+    def test_reset_zeroes_round_estimate(self, sim):
+        port, marker = self._mq_ecn_port(sim)
+        for seq in range(8):
+            port.enqueue(make_data(1, 0, 1, seq, service=seq % 2), seq % 2)
+        sim.run()
+        assert marker.t_round > 0.0
+        assert marker._last_round_start is not None
+        port.reset()
+        assert marker.t_round == 0.0
+        assert marker._last_round_start is None
+
+    def test_phantom_marker_state_cleared(self, sim):
+        from repro.ecn.phantom import PhantomQueueMarker
+
+        marker = PhantomQueueMarker(10 * 1500, drain_factor=0.9)
+        link = Link(sim, 1e9, 1e-6, Sink())
+        port = Port(sim, link, FifoScheduler(1), marker)
+        for seq in range(8):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        sim.run(until=5e-6)
+        assert marker._phantom_bytes > 0.0
+        port.reset()
+        assert marker._phantom_bytes == 0.0
+        assert marker._last_update == sim.now

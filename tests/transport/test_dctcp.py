@@ -232,6 +232,28 @@ class TestTimeout:
         sim.run(until=1.0)
         assert sender.timeouts == 0
 
+    def test_late_ack_after_rewind_keeps_sequence_invariant(self, sim):
+        """Regression: an RTO rewinds next_seq to snd_una (go-back-N), but
+        ACKs for the original pre-rewind transmissions may still be in
+        flight.  When such a late ACK lands past the rewind point the
+        sender must pull next_seq forward with it — previously snd_una
+        overtook next_seq, in_flight went negative, and already-acked
+        sequence numbers were retransmitted."""
+        sender, host, _flow = make_sender(sim, init_cwnd=4.0, min_rto=1e-3)
+        originals = list(host.sent)
+        assert [p.seq for p in originals] == [0, 1, 2, 3]
+        sim.run(until=2e-3)  # no ACKs yet: RTO fires, rewinds to seq 0
+        assert sender.timeouts == 1
+        sent_before = len(host.sent)
+        # The network finally delivers a (delayed) ACK covering the first
+        # three original transmissions — beyond the rewound next_seq.
+        ack(sender, originals[2], 3)
+        assert sender.snd_una == 3
+        assert sender.snd_una <= sender.next_seq
+        assert sender.in_flight >= 0
+        # Nothing at or below the cumulative ACK point may be resent.
+        assert all(p.seq >= 3 for p in host.sent[sent_before:])
+
 
 class TestRttEstimation:
     def test_rtt_sample_taken(self, sim):

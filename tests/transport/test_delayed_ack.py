@@ -107,6 +107,75 @@ class TestDelackTimer:
         assert len(host.sent) == 1  # no duplicate from the timer
 
 
+class TestTimerInterleavings:
+    """Interleavings of the delack timer with OOO flushes and CE
+    transitions — the corners where a stale timer could duplicate or
+    regress an ACK."""
+
+    def test_timer_flushes_tail_after_ooo_flush(self, sim):
+        # seq 1 arrives first (gap → immediate dup ACK), then seq 0 fills
+        # the gap and advances the cumulative point past both.  The tail
+        # sits coalesced until the timer flushes it — with the advanced
+        # cumulative point, not a stale one.
+        receiver, host, flow = make_receiver(sim, ack_every=4,
+                                             delack_timeout=1e-3)
+        receiver.on_data(data(flow, 1))
+        assert [a.ack_seq for a in host.sent] == [0]  # dup ACK at the gap
+        receiver.on_data(data(flow, 0))
+        assert receiver.expected_seq == 2
+        assert len(host.sent) == 1  # tail coalesced, timer armed
+        sim.run(until=5e-3)
+        assert [a.ack_seq for a in host.sent] == [0, 2]
+        sim.run()
+        assert len(host.sent) == 2  # timer does not fire again
+
+    def test_ce_transition_with_timer_pending(self, sim):
+        # A CE transition flushes the pending ACK with the OLD state while
+        # the timer is armed; the timer must then cover only the new run
+        # — no duplicate, and the ECE pattern partitions the bytes
+        # exactly.
+        receiver, host, flow = make_receiver(sim, ack_every=4,
+                                             delack_timeout=1e-3)
+        receiver.on_data(data(flow, 0, ce=False))   # pending, timer armed
+        receiver.on_data(data(flow, 1, ce=True))    # transition flush
+        assert [(a.ack_seq, a.ece) for a in host.sent] == [(1, False)]
+        sim.run(until=5e-3)                         # timer covers seq 1
+        assert [(a.ack_seq, a.ece) for a in host.sent] == [
+            (1, False), (2, True)]
+        sim.run()
+        assert len(host.sent) == 2
+
+    def test_timer_never_regresses_cumulative_point(self, sim):
+        # Timer fires between bursts: a second burst must re-arm it with
+        # fresh state, never replay the first burst's ACK.
+        receiver, host, flow = make_receiver(sim, ack_every=2,
+                                             delack_timeout=1e-3)
+        receiver.on_data(data(flow, 0))
+        sim.run(until=2e-3)                         # timer → ACK 1
+        receiver.on_data(data(flow, 1))
+        sim.run(until=4e-3)                         # timer → ACK 2
+        assert [a.ack_seq for a in host.sent] == [1, 2]
+        acks = [a.ack_seq for a in host.sent]
+        assert acks == sorted(acks)
+
+    def test_marked_bytes_partition_exactly_across_timer_flush(self, sim):
+        # Mixed CE pattern whose tail is flushed by the timer: every data
+        # packet is covered by exactly one ACK and the ECE bits attribute
+        # marked/unmarked runs without overlap.
+        receiver, host, flow = make_receiver(sim, ack_every=3,
+                                             delack_timeout=1e-3)
+        pattern = [False, False, True, True, False]
+        for seq, ce in enumerate(pattern):
+            receiver.on_data(data(flow, seq, ce=ce))
+        sim.run(until=5e-3)                         # tail via timer
+        spans = [(a.ack_seq, a.ece) for a in host.sent]
+        assert spans == [(2, False), (4, True), (5, False)]
+        # Partition check: ack points strictly increase to cover all 5.
+        points = [s for s, _ in spans]
+        assert points == sorted(points)
+        assert points[-1] == len(pattern)
+
+
 class TestOutOfOrderBypassesDelay:
     def test_gap_acks_immediately(self, sim):
         receiver, host, flow = make_receiver(sim, ack_every=4)
