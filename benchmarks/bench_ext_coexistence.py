@@ -9,12 +9,14 @@ The upgraded sender should reclaim its fair share; nobody else changes.
 from conftest import heading, run_once
 
 from repro.experiments.extensions import pmsbe_coexistence
+from repro.store import RunConfig
 
 
 def test_incremental_deployment(benchmark):
     def experiment():
-        return (pmsbe_coexistence(victim_upgraded=False, duration=0.03),
-                pmsbe_coexistence(victim_upgraded=True, duration=0.03))
+        config = RunConfig(duration=0.03)
+        return (pmsbe_coexistence(victim_upgraded=False, config=config),
+                pmsbe_coexistence(victim_upgraded=True, config=config))
 
     baseline, upgraded = run_once(benchmark, experiment)
     heading("E-COEXIST — PMSB(e) on one sender, stock DCTCP on the rest")

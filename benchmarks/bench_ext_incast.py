@@ -11,13 +11,14 @@ drop-tail, and the gap widens with fan-in.
 from conftest import heading, run_once
 
 from repro.experiments.extensions import incast_sweep
+from repro.store import RunConfig
 
 
 def test_incast_fanin_sweep(benchmark):
     def experiment():
         return {
             scheme: incast_sweep(scheme, fanins=(8, 16, 32, 64),
-                                 duration=0.08)
+                                 config=RunConfig(duration=0.08))
             for scheme in ("pmsb", "none")
         }
 

@@ -15,6 +15,7 @@ flows may be hogging memory:
 from conftest import heading, run_once
 
 from repro.experiments.extensions import microburst_absorption
+from repro.store import RunConfig
 
 
 def test_microburst_buffer_policies(benchmark):
@@ -24,7 +25,7 @@ def test_microburst_buffer_policies(benchmark):
             for policy in ("static", "shared", "dt"):
                 rows.append(microburst_absorption(
                     policy=policy, hog_active=hog, dt_alpha=2.0,
-                    duration=0.04))
+                    config=RunConfig(duration=0.04)))
         return rows
 
     rows = run_once(benchmark, experiment)

@@ -10,10 +10,13 @@ otherwise idle — gets marked and throttled.
 from conftest import heading, run_once
 
 from repro.experiments.extensions import service_pool_victim
+from repro.store import RunConfig
 
 
 def test_service_pool_cross_port_victim(benchmark):
-    result = run_once(benchmark, lambda: service_pool_victim(duration=0.03))
+    result = run_once(
+        benchmark,
+        lambda: service_pool_victim(config=RunConfig(duration=0.03)))
     heading("E-POOL — shared-pool marking: cross-port victim "
             "(validating the paper's §II-B conjecture)")
     print(f"port A (1 flow, own idle link): {result.port_a_gbps:5.2f} Gbps "

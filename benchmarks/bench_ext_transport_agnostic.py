@@ -11,6 +11,7 @@ filter acts on the *mark*, before any transport-specific reaction.
 from conftest import heading, run_once
 
 from repro.experiments.extensions import transport_agnostic_victim
+from repro.store import RunConfig
 
 
 def test_transport_agnostic(benchmark):
@@ -19,7 +20,8 @@ def test_transport_agnostic(benchmark):
         for transport in ("dctcp", "dcqcn"):
             for marker in ("per-port", "pmsb"):
                 rows.append(transport_agnostic_victim(
-                    transport=transport, marker=marker, duration=0.03))
+                    transport=transport, marker=marker,
+                    config=RunConfig(duration=0.03)))
         return rows
 
     rows = run_once(benchmark, experiment)

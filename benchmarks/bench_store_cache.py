@@ -1,0 +1,44 @@
+"""STORE-CACHE — warm-over-cold speedup of the content-addressed store.
+
+The acceptance bar for the run store: re-running a BENCH-profile sweep
+against a warm cache must be at least 5x faster than the cold run,
+because every point is answered from its content-addressed record
+instead of being re-simulated.  Measured with ``perf_counter`` around
+the two sweep calls (pytest-benchmark times the pair once; the printed
+ratio is the deliverable).
+"""
+
+import time
+
+from conftest import heading, run_once
+
+from repro.experiments.largescale import run_fct_sweep
+from repro.experiments.scale import BENCH
+from repro.store import RunConfig, RunStore
+
+
+def test_warm_cache_speedup(benchmark, tmp_path):
+    cache = str(tmp_path / "cache")
+    config = RunConfig(profile=BENCH, seed=1, cache_dir=cache)
+
+    def experiment():
+        t0 = time.perf_counter()
+        cold_rows = run_fct_sweep(config=config)
+        t1 = time.perf_counter()
+        warm_rows = run_fct_sweep(config=config)
+        t2 = time.perf_counter()
+        return cold_rows, warm_rows, t1 - t0, t2 - t1
+
+    cold_rows, warm_rows, cold_s, warm_s = run_once(benchmark, experiment)
+    speedup = cold_s / warm_s
+    store = RunStore(cache)
+    heading("STORE-CACHE — BENCH sweep, cold vs warm run store")
+    print(f"points:        {len(cold_rows)} "
+          f"({len(store)} records in {store.root})")
+    print(f"cold sweep:    {cold_s:8.3f} s")
+    print(f"warm sweep:    {warm_s:8.3f} s")
+    print(f"speedup:       {speedup:8.1f}x (required: >= 5x)")
+
+    assert warm_rows == cold_rows  # cache answers are the real rows
+    assert len(store) == len(cold_rows)
+    assert speedup >= 5.0

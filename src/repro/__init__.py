@@ -79,6 +79,7 @@ from .scheduling import (
     WrrScheduler,
 )
 from .sim import FabricAuditor, InvariantViolation, Simulator, make_rng
+from .store import ExperimentSpec, RunConfig, RunRecord, RunStore
 from .transport import (
     ClassicEcnSender,
     DctcpConfig,
@@ -103,6 +104,7 @@ __all__ = [
     "DctcpSender",
     "DwrrScheduler",
     "EcnFilter",
+    "ExperimentSpec",
     "FabricAuditor",
     "FctCollector",
     "FifoScheduler",
@@ -127,6 +129,9 @@ __all__ = [
     "QueueOccupancyTrace",
     "RedMarker",
     "RttEcnFilter",
+    "RunConfig",
+    "RunRecord",
+    "RunStore",
     "Scheduler",
     "SchemeCapabilities",
     "ServicePoolMarker",

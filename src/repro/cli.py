@@ -6,10 +6,25 @@
     python -m repro fig3                  # per-port victim (Fig. 3)
     python -m repro fig9 --duration 0.06  # RTT distributions
     python -m repro sweep --scheduler wfq --loads 0.3 0.5 --json out.json
+    python -m repro sweep --profile tiny --cache-dir .repro-cache --resume
+    python -m repro runs list --cache-dir .repro-cache
     python -m repro table1
     python -m repro theorem
     python -m repro pool                  # §II-B service-pool conjecture
     python -m repro coexist               # §V-B incremental deployment
+
+Every experiment command accepts the same execution flags —
+``--json/--csv/--duration/--profile/--jobs/--audit`` — spelled
+identically (they come from one shared parent parser).  ``--profile``
+selects the scale profile (tiny/bench/paper; ``--scale`` is an alias)
+and, for static experiments, sets the default simulated duration.
+
+The sweep additionally understands the content-addressed run store:
+``--cache-dir`` keys every point by its
+:class:`~repro.store.ExperimentSpec` hash, ``--resume`` (the default
+behaviour once a cache dir is given) skips completed points, and
+``--force`` recomputes them.  ``repro runs list|show|diff|gc`` inspects
+and maintains the store.
 
 Each command prints the same rows the corresponding paper figure plots;
 ``--json``/``--csv`` additionally export machine-readable results.
@@ -18,8 +33,9 @@ Each command prints the same rows the corresponding paper figure plots;
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from dataclasses import asdict, is_dataclass
+from dataclasses import asdict, replace
 from typing import Any, List, Optional
 
 from .core.capabilities import capability_table
@@ -29,14 +45,39 @@ from .experiments import (ablations, analysis_validation, extensions,
 from .experiments.scale import BENCH, PAPER, TINY
 from .metrics.export import rows_to_csv, to_json
 from .metrics.fct import SizeClass
+from .store import RunConfig, RunStore, diff_records
 
 __all__ = ["main"]
 
 PROFILES = {"tiny": TINY, "bench": BENCH, "paper": PAPER}
 
+#: Where ``repro runs`` looks when ``--cache-dir`` is not given — the
+#: same directory a bare ``sweep --cache-dir .repro-cache`` writes.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 
 def _us(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f}us"
+
+
+def _profile(args):
+    """The ScaleProfile selected by ``--profile``, or None."""
+    name = getattr(args, "profile", None)
+    return PROFILES[name] if name else None
+
+
+def _duration(args, fallback: float = 0.03) -> float:
+    """Simulated seconds for a static experiment.
+
+    Explicit ``--duration`` wins; otherwise the selected profile's
+    static duration; otherwise ``fallback``.
+    """
+    if args.duration is not None:
+        return args.duration
+    profile = _profile(args)
+    if profile is not None:
+        return profile.static_duration
+    return fallback
 
 
 def _maybe_export(args, payload: Any) -> None:
@@ -44,7 +85,7 @@ def _maybe_export(args, payload: Any) -> None:
         to_json(payload, args.json)
         print(f"\n[written {args.json}]")
     if getattr(args, "csv", None):
-        if isinstance(payload, list) and payload and is_dataclass(payload[0]):
+        if isinstance(payload, list) and payload:
             rows_to_csv(payload, args.csv)
             print(f"\n[written {args.csv}]")
         else:
@@ -55,7 +96,7 @@ def _maybe_export(args, payload: Any) -> None:
 # -- command implementations -------------------------------------------------
 
 def cmd_fig1(args) -> Any:
-    results = motivation.per_queue_standard_rtt(duration=args.duration)
+    results = motivation.per_queue_standard_rtt(duration=_duration(args))
     print(f"{'queues':>6s} {'mean':>10s} {'p99':>10s}")
     for n_queues, stats in sorted(results.items()):
         print(f"{n_queues:6d} {_us(stats.mean)} {_us(stats.p99)}")
@@ -64,7 +105,7 @@ def cmd_fig1(args) -> Any:
 
 def cmd_fig2(args) -> Any:
     results = motivation.per_queue_fractional_throughput(
-        duration=args.duration)
+        duration=_duration(args))
     for threshold, gbps in sorted(results.items()):
         print(f"K={threshold:4.0f} pkts -> {gbps:5.2f} Gbps")
     return {str(k): v for k, v in results.items()}
@@ -72,7 +113,7 @@ def cmd_fig2(args) -> Any:
 
 def _victim(args, threshold: float, flows: int) -> Any:
     result = motivation.per_port_victim(threshold, flows,
-                                        duration=args.duration)
+                                        duration=_duration(args))
     print(f"per-port K={threshold:.0f}, 1 flow vs {flows} flows:")
     print(f"  queue 1: {result.queue1_gbps:5.2f} Gbps")
     print(f"  queue 2: {result.queue2_gbps:5.2f} Gbps")
@@ -113,14 +154,14 @@ def cmd_fig5(args) -> Any:
 
 def cmd_fig8(args) -> Any:
     result = static_flows.weighted_fair_sharing("pmsb",
-                                                duration=args.duration)
+                                                duration=_duration(args))
     print(f"PMSB DWRR 1:4 -> q1 {result.queue_gbps[0]:.2f} G, "
           f"q2 {result.queue_gbps[1]:.2f} G")
     return result.queue_gbps
 
 
 def cmd_fig9(args) -> Any:
-    results = static_flows.rtt_distribution(duration=args.duration)
+    results = static_flows.rtt_distribution(duration=_duration(args))
     print(f"{'scheme':18s} {'mean':>10s} {'p99':>10s}")
     for name, stats in results.items():
         print(f"{name:18s} {_us(stats.mean)} {_us(stats.p99)}")
@@ -129,7 +170,7 @@ def cmd_fig9(args) -> Any:
 
 def cmd_fig10(args) -> Any:
     result = static_flows.weighted_fair_sharing(
-        "pmsb", flows_queue2=100, duration=max(args.duration, 0.03),
+        "pmsb", flows_queue2=100, duration=max(_duration(args), 0.03),
         warmup_fraction=0.5, stagger=5e-3)
     print(f"PMSB DWRR 1:100 -> q1 {result.queue_gbps[0]:.2f} G, "
           f"q2 {result.queue_gbps[1]:.2f} G")
@@ -157,28 +198,34 @@ def _policy(result) -> Any:
 
 def cmd_fig13(args) -> Any:
     print("PMSB over SP+WFQ (expect 5 / 2.5 / 2.5 G settled):")
-    return _policy(static_flows.scheduler_sp_wfq(duration=args.duration))
+    return _policy(static_flows.scheduler_sp_wfq(duration=_duration(args)))
 
 
 def cmd_fig14(args) -> Any:
     print("PMSB over SP (expect 5 / 3 / 2 G settled):")
-    return _policy(static_flows.scheduler_sp(duration=args.duration))
+    return _policy(static_flows.scheduler_sp(duration=_duration(args)))
 
 
 def cmd_fig15(args) -> Any:
     print("PMSB over WFQ (expect 10 G -> 5 / 5 G):")
-    return _policy(static_flows.scheduler_wfq(duration=args.duration))
+    return _policy(static_flows.scheduler_wfq(duration=_duration(args)))
 
 
 def cmd_sweep(args) -> Any:
-    profile = PROFILES[args.scale]
+    profile = _profile(args) or BENCH
     if args.loads:
-        from dataclasses import replace
         profile = replace(profile, loads=tuple(args.loads))
+    config = RunConfig(
+        profile=profile,
+        seed=args.seed,
+        jobs=args.jobs,
+        audit=True if args.audit else None,
+        profile_events=args.profile_events,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
     rows = largescale.run_fct_sweep(scheduler_name=args.scheduler,
-                                    profile=profile, seed=args.seed,
-                                    jobs=args.jobs,
-                                    profile_events=args.profile)
+                                    config=config)
     print(f"{'scheme':10s} {'load':>5s} {'overall':>9s} {'sm avg':>9s} "
           f"{'sm p99':>9s} {'lg avg':>9s}")
     for row in rows:
@@ -197,7 +244,8 @@ def cmd_table1(args) -> Any:
 
 
 def cmd_theorem(args) -> Any:
-    rows = analysis_validation.threshold_bound_sweep(duration=args.duration)
+    rows = analysis_validation.threshold_bound_sweep(
+        duration=_duration(args))
     print(f"{'k_i/bound':>9s} {'predicted ok':>13s} {'utilization':>12s}")
     for row in rows:
         print(f"{row.queue_threshold / row.bound:9.2f} "
@@ -208,7 +256,7 @@ def cmd_theorem(args) -> Any:
 
 def cmd_ablation(args) -> Any:
     print("blindness scale sweep (1:8 victim scenario):")
-    rows = ablations.blindness_aggressiveness(duration=args.duration)
+    rows = ablations.blindness_aggressiveness(duration=_duration(args))
     for row in rows:
         print(f"  scale {row.parameter:4.2f}: q1 {row.queue1_gbps:5.2f} G, "
               f"err {row.fair_share_error:4.2f}, "
@@ -217,7 +265,8 @@ def cmd_ablation(args) -> Any:
 
 
 def cmd_pool(args) -> Any:
-    result = extensions.service_pool_victim(duration=args.duration)
+    result = extensions.service_pool_victim(
+        config=RunConfig(duration=_duration(args)))
     print(f"shared-pool marking, disjoint links:")
     print(f"  port A (1 flow):  {result.port_a_gbps:5.2f} G "
           f"({result.port_a_utilization * 100:.0f}% of its own link)")
@@ -227,12 +276,12 @@ def cmd_pool(args) -> Any:
 
 def cmd_burst(args) -> Any:
     print("32-way micro-burst vs buffer-sharing policy (DT alpha=2):")
+    config = RunConfig(duration=max(_duration(args), 0.04))
     rows = []
     for hog in (True, False):
         for policy in extensions.BUFFER_POLICIES:
             rows.append(extensions.microburst_absorption(
-                policy=policy, hog_active=hog, dt_alpha=2.0,
-                duration=max(args.duration, 0.04)))
+                policy=policy, hog_active=hog, dt_alpha=2.0, config=config))
     for row in rows:
         p99 = (f"{row.burst_fct_p99 * 1e3:6.2f}ms"
                if row.burst_fct_p99 else "    n/a")
@@ -243,12 +292,12 @@ def cmd_burst(args) -> Any:
 
 def cmd_transports(args) -> Any:
     print("1:8 victim scenario across transports:")
+    config = RunConfig(duration=_duration(args))
     rows = []
     for transport in ("dctcp", "dcqcn"):
         for marker in ("per-port", "pmsb"):
             rows.append(extensions.transport_agnostic_victim(
-                transport=transport, marker=marker,
-                duration=args.duration))
+                transport=transport, marker=marker, config=config))
     for row in rows:
         print(f"  {row.transport:6s} {row.marker:9s} "
               f"victim={row.victim_gbps:5.2f}G "
@@ -258,8 +307,9 @@ def cmd_transports(args) -> Any:
 
 
 def cmd_coexist(args) -> Any:
-    baseline = extensions.pmsbe_coexistence(False, duration=args.duration)
-    upgraded = extensions.pmsbe_coexistence(True, duration=args.duration)
+    config = RunConfig(duration=_duration(args))
+    baseline = extensions.pmsbe_coexistence(False, config=config)
+    upgraded = extensions.pmsbe_coexistence(True, config=config)
     print("incremental PMSB(e) deployment (per-port switch, DCTCP peers):")
     print(f"  stock DCTCP victim: {baseline.victim_gbps:5.2f} G "
           f"(err {baseline.fair_share_error:.2f})")
@@ -296,7 +346,124 @@ COMMANDS = {
 }
 
 
+# -- run-store maintenance commands ------------------------------------------
+
+def _record_json(record) -> str:
+    return json.dumps(
+        {"key": record.key, "spec": record.spec, "result": record.result,
+         "provenance": record.provenance},
+        indent=2, sort_keys=True)
+
+
+def _resolve_record(store: RunStore, key_prefix: str):
+    """The unique record matching ``key_prefix``, or None (with a
+    message on stderr) on a miss or an ambiguous prefix."""
+    matches = store.find(key_prefix)
+    if not matches:
+        print(f"no record matching {key_prefix!r} under {store.root}",
+              file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(f"{key_prefix!r} is ambiguous ({len(matches)} matches):",
+              file=sys.stderr)
+        for record in matches:
+            print(f"  {record.key}", file=sys.stderr)
+        return None
+    return matches[0]
+
+
+def cmd_runs_list(args) -> int:
+    store = RunStore(args.cache_dir)
+    records = list(store.records())
+    if not records:
+        print(f"[no records under {store.root}]")
+        return 0
+    print(f"{'key':12s} {'experiment':12s} {'scheme':10s} {'sched':5s} "
+          f"{'load':>5s} {'seed':>10s} {'profile':8s} {'elapsed':>9s}")
+    for record in records:
+        spec = record.spec
+        elapsed = record.provenance.get("elapsed_s")
+        print(f"{record.key[:12]:12s} {spec.get('experiment', '?'):12s} "
+              f"{spec.get('scheme', '-'):10s} "
+              f"{spec.get('scheduler', '-'):5s} "
+              f"{spec.get('load', 0.0):5.2f} {spec.get('seed', 0):10d} "
+              f"{record.provenance.get('profile', '-'):8s} "
+              f"{f'{elapsed:8.2f}s' if elapsed is not None else '       --'}")
+    print(f"[{len(records)} record(s) under {store.root}]")
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    record = _resolve_record(RunStore(args.cache_dir), args.key)
+    if record is None:
+        return 1
+    print(_record_json(record))
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    store = RunStore(args.cache_dir)
+    record_a = _resolve_record(store, args.key_a)
+    record_b = _resolve_record(store, args.key_b)
+    if record_a is None or record_b is None:
+        return 1
+    delta = diff_records(record_a, record_b)
+    if not delta["spec"] and not delta["result"]:
+        print("records are identical")
+        return 0
+    for section in ("spec", "result"):
+        for field_name, (va, vb) in delta[section].items():
+            print(f"{section}.{field_name}: {va!r} -> {vb!r}")
+    return 0
+
+
+def cmd_runs_gc(args) -> int:
+    removed = RunStore(args.cache_dir).gc(
+        older_than_days=args.older_than_days)
+    total = sum(removed.values())
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(removed.items()) if v)
+    print(f"removed {total} file(s)" + (f" ({detail})" if detail else ""))
+    return 0
+
+
+RUNS_COMMANDS = {
+    "list": (cmd_runs_list, "list stored run records"),
+    "show": (cmd_runs_show, "print one record (by key prefix) as JSON"),
+    "diff": (cmd_runs_diff, "field-level diff of two records"),
+    "gc": (cmd_runs_gc, "reclaim temp files and stale/aged records"),
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
+    # One shared parent so every experiment command spells the common
+    # flags identically (and `fig3 --help` documents the same contract
+    # as `sweep --help`).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--json", help="write results as JSON")
+    common.add_argument("--csv", help="write row results as CSV")
+    common.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds for static experiments "
+                             "(default: the profile's static duration, "
+                             "else 0.03)")
+    common.add_argument("--profile", "--scale", dest="profile",
+                        choices=tuple(PROFILES), default=None,
+                        help="scale profile (tiny/bench/paper): sweep "
+                             "fabric size and static default duration; "
+                             "--scale is an alias")
+    common.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (1 = serial, 0 = all "
+                             "cores; points are independent, results "
+                             "are identical at any jobs level)")
+    common.add_argument("--audit", action="store_true",
+                        help="run under the fabric invariant auditor "
+                             "(cross-layer conservation checks; raises "
+                             "on the first violation)")
+
+    store_dir = argparse.ArgumentParser(add_help=False)
+    store_dir.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                           help="run-store root directory "
+                                f"(default: {DEFAULT_CACHE_DIR})")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PMSB (ICDCS 2018) reproduction — experiment runner",
@@ -304,44 +471,81 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     for name, (_fn, help_text) in COMMANDS.items():
-        cmd = sub.add_parser(name, help=help_text)
-        cmd.add_argument("--duration", type=float, default=0.03,
-                         help="simulated seconds for static experiments")
-        cmd.add_argument("--json", help="write results as JSON")
-        cmd.add_argument("--csv", help="write row results as CSV")
-        cmd.add_argument("--audit", action="store_true",
-                         help="run under the fabric invariant auditor "
-                              "(cross-layer conservation checks; raises "
-                              "on the first violation)")
+        cmd = sub.add_parser(name, help=help_text, parents=[common])
         if name == "sweep":
             cmd.add_argument("--scheduler", choices=("dwrr", "wfq"),
                              default="dwrr")
-            cmd.add_argument("--scale", choices=tuple(PROFILES),
-                             default="bench",
-                             help="scale profile (tiny/bench/paper)")
             cmd.add_argument("--loads", type=float, nargs="+",
                              help="override the profile's load points")
             cmd.add_argument("--seed", type=int, default=1)
-            cmd.add_argument("--jobs", type=int, default=None,
-                             help="worker processes for the sweep "
-                                  "(1 = serial, 0 = all cores; points are "
-                                  "independent, results are identical at "
-                                  "any jobs level)")
-            cmd.add_argument("--profile", action="store_true",
+            cmd.add_argument("--profile-events", action="store_true",
                              help="print a per-run event/heap profile "
                                   "(events/sec, category counters, heap "
                                   "size over time)")
+            cmd.add_argument("--cache-dir", default=None,
+                             help="content-addressed run store: completed "
+                                  "points are persisted here and skipped "
+                                  "on re-run")
+            cmd.add_argument("--resume", action="store_true",
+                             help="resume an interrupted sweep from "
+                                  "--cache-dir (this is the default "
+                                  "behaviour whenever a cache dir is "
+                                  "given)")
+            cmd.add_argument("--force", action="store_true",
+                             help="recompute cached points and overwrite "
+                                  "their records")
+
+    runs = sub.add_parser("runs",
+                          help="inspect the content-addressed run store")
+    runs_sub = runs.add_subparsers(dest="runs_command")
+    for name, (_fn, help_text) in RUNS_COMMANDS.items():
+        runs_cmd = runs_sub.add_parser(name, help=help_text,
+                                       parents=[store_dir])
+        if name == "show":
+            runs_cmd.add_argument("key", help="record key (prefix ok)")
+        elif name == "diff":
+            runs_cmd.add_argument("key_a", help="first key (prefix ok)")
+            runs_cmd.add_argument("key_b", help="second key (prefix ok)")
+        elif name == "gc":
+            runs_cmd.add_argument("--older-than-days", type=float,
+                                  default=None,
+                                  help="also remove records older than "
+                                       "this many days")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # `repro runs show … | head` closes our stdout mid-print; exit
+        # quietly instead of dumping a traceback.  Point the fd at
+        # /dev/null so the interpreter's shutdown flush stays silent.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None or args.command == "list":
         for name, (_fn, help_text) in COMMANDS.items():
             print(f"  {name:10s} {help_text}")
+        print(f"  {'runs':10s} run-store maintenance "
+              f"({'/'.join(RUNS_COMMANDS)})")
         return 0
+    if args.command == "runs":
+        if args.runs_command is None:
+            for name, (_fn, help_text) in RUNS_COMMANDS.items():
+                print(f"  runs {name:5s} {help_text}")
+            return 0
+        fn, _help = RUNS_COMMANDS[args.runs_command]
+        return fn(args)
+    if args.command == "sweep":
+        if (args.resume or args.force) and not args.cache_dir:
+            parser.error("--resume/--force require --cache-dir")
     fn, _help = COMMANDS[args.command]
     if getattr(args, "audit", False):
         # Flip the process-wide default so every simulation the command

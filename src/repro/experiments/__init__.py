@@ -1,7 +1,9 @@
 """Experiment harness: one builder per paper figure/table (see DESIGN.md)."""
 
+from ..store import ExperimentSpec, RunConfig, RunRecord, RunStore
 from . import ablations, analysis_validation, extensions, largescale
 from . import marking_point, motivation, runner, static_flows
+from .largescale import fct_point_spec
 from .runner import available_jobs, run_parallel, seed_for
 from .scale import BENCH, PAPER, ScaleProfile, TINY
 from .scenario import (IncastResult, SCHEME_NAMES, SchemeSpec, incast_flows,
@@ -9,8 +11,12 @@ from .scenario import (IncastResult, SCHEME_NAMES, SchemeSpec, incast_flows,
 
 __all__ = [
     "BENCH",
+    "ExperimentSpec",
     "IncastResult",
     "PAPER",
+    "RunConfig",
+    "RunRecord",
+    "RunStore",
     "SCHEME_NAMES",
     "ScaleProfile",
     "SchemeSpec",
@@ -19,6 +25,7 @@ __all__ = [
     "analysis_validation",
     "available_jobs",
     "extensions",
+    "fct_point_spec",
     "incast_flows",
     "largescale",
     "make_scheme",

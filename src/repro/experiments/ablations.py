@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..metrics.stats import summarize
+from ..store.spec import RunConfig
 from ..scheduling.dwrr import DwrrScheduler
 from .scenario import incast_flows, make_scheme, run_incast
 
@@ -60,8 +61,8 @@ def blindness_aggressiveness(
         )
         result = run_incast(
             scheme, lambda: DwrrScheduler(2),
-            incast_flows([1, flows_queue2]), duration=duration,
-            link_rate=link_rate, record_rtt=True,
+            incast_flows([1, flows_queue2]), link_rate=link_rate,
+            record_rtt=True, config=RunConfig(duration=duration),
         )
         samples = result.rtt_samples(queue_index=1)
         steady = samples[len(samples) // 3:]
@@ -93,8 +94,8 @@ def rtt_threshold_sweep(
         )
         result = run_incast(
             scheme, lambda: DwrrScheduler(2),
-            incast_flows([1, flows_queue2]), duration=duration,
-            link_rate=link_rate, record_rtt=True,
+            incast_flows([1, flows_queue2]), link_rate=link_rate,
+            record_rtt=True, config=RunConfig(duration=duration),
         )
         samples = result.rtt_samples(queue_index=1)
         steady = samples[len(samples) // 3:]
@@ -155,7 +156,7 @@ def weighted_share_preservation(
             scheme,
             lambda w=tuple(weights): DwrrScheduler(len(w), list(w)),
             incast_flows([flows_per_queue] * n_queues),
-            duration=duration, link_rate=link_rate,
+            link_rate=link_rate, config=RunConfig(duration=duration),
         )
         rows.append(
             WeightedShareRow(

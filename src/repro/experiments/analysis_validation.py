@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 from ..core.analysis import SteadyStateModel, worst_case_flow_count
 from ..scheduling.dwrr import DwrrScheduler
+from ..store.spec import RunConfig
 from .scenario import incast_flows, make_scheme, run_incast
 
 __all__ = ["BoundSweepRow", "threshold_bound_sweep", "estimate_rtt"]
@@ -67,8 +68,8 @@ def threshold_bound_sweep(
         )
         result = run_incast(
             scheme, lambda: DwrrScheduler(2),
-            incast_flows([n_flows, n_flows]), duration=duration,
-            link_rate=link_rate,
+            incast_flows([n_flows, n_flows]), link_rate=link_rate,
+            config=RunConfig(duration=duration),
         )
         rows.append(
             BoundSweepRow(

@@ -19,8 +19,9 @@ Two claims the paper makes in prose but never evaluates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Union
 
 from ..core.pmsb_endhost import RttEcnFilter
 from ..ecn.service_pool import BufferPool, ServicePoolMarker
@@ -34,6 +35,9 @@ from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.fifo import FifoScheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
+from ..store.runstore import RunStore, make_provenance
+from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
+                          resolve_run_config)
 from ..transport.base import DctcpConfig
 from ..transport.endpoints import open_flow
 from ..transport.flow import Flow
@@ -44,7 +48,7 @@ __all__ = ["PoolVictimResult", "service_pool_victim",
            "MicroburstResult", "microburst_absorption",
            "BUFFER_POLICIES",
            "TransportVictimResult", "transport_agnostic_victim",
-           "IncastRow", "incast_sweep"]
+           "IncastRow", "incast_point_spec", "incast_sweep"]
 
 
 # ---------------------------------------------------------------------------
@@ -117,8 +121,9 @@ def service_pool_victim(
     pool_threshold: float = 16.0,
     flows_port_b: int = 8,
     link_rate: float = 10e9,
-    duration: float = 0.03,
-    audit: Optional[bool] = None,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
 ) -> PoolVictimResult:
     """Validate the paper's per-service-pool conjecture.
 
@@ -127,6 +132,10 @@ def service_pool_victim(
     the fair outcome is both ports at line rate; pool-level marking
     should instead throttle port A's flow because port B fills the pool.
     """
+    config = resolve_run_config(config, "service_pool_victim",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.03
+    audit = config.audit
     sim = Simulator()
     auditor = _attach_auditor(sim, audit)
     pool = BufferPool(name="service-pool")
@@ -190,8 +199,9 @@ def pmsbe_coexistence(
     rtt_threshold: float = 40e-6,
     flows_queue2: int = 8,
     link_rate: float = 10e9,
-    duration: float = 0.03,
-    audit: Optional[bool] = None,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
 ) -> CoexistenceResult:
     """§V-B deployability: upgrade *only* the victim sender to PMSB(e).
 
@@ -201,6 +211,11 @@ def pmsbe_coexistence(
     reclaim its 5 Gbps share while queue 2 still converges to its own.
     """
     from ..ecn.per_port import PerPortMarker
+
+    config = resolve_run_config(config, "pmsbe_coexistence",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.03
+    audit = config.audit
 
     sim = Simulator()
     auditor = _attach_auditor(sim, audit)
@@ -267,8 +282,9 @@ def microburst_absorption(
     dt_alpha: float = 1.0,
     n_hog_flows: int = 4,
     link_rate: float = 10e9,
-    duration: float = 0.05,
-    audit: Optional[bool] = None,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
 ) -> MicroburstResult:
     """Incast micro-burst into port B while port A may be hogging buffer.
 
@@ -288,6 +304,10 @@ def microburst_absorption(
     """
     if policy not in BUFFER_POLICIES:
         raise ValueError(f"unknown policy {policy!r}; use {BUFFER_POLICIES}")
+    config = resolve_run_config(config, "microburst_absorption",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.05
+    audit = config.audit
     sim = Simulator()
     if policy == "shared":
         pool: Optional[BufferPool] = BufferPool(total_buffer_packets)
@@ -383,8 +403,9 @@ def transport_agnostic_victim(
     port_threshold: float = 16.0,
     flows_queue2: int = 8,
     link_rate: float = 10e9,
-    duration: float = 0.03,
-    audit: Optional[bool] = None,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
 ) -> TransportVictimResult:
     """The 1:8 victim scenario with a window- or rate-based transport.
 
@@ -396,6 +417,11 @@ def transport_agnostic_victim(
     from ..core.pmsb import PmsbMarker
     from ..ecn.per_port import PerPortMarker
     from ..transport.dcqcn import open_dcqcn_flow
+
+    config = resolve_run_config(config, "transport_agnostic_victim",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.03
+    audit = config.audit
 
     if marker == "pmsb":
         marker_factory = lambda: PmsbMarker(port_threshold)  # noqa: E731
@@ -449,6 +475,33 @@ class IncastRow:
     fct_p99: Optional[float]
     retransmission_timeouts: int
 
+    def to_payload(self) -> "dict":
+        """A JSON-able dict for run-store persistence."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: "Mapping[str, Any]") -> "IncastRow":
+        return cls(**data)
+
+
+def incast_point_spec(
+    scheme_name: str,
+    fanin: int,
+    response_bytes: int,
+    buffer_packets: int,
+    link_rate: float,
+    duration: float,
+    audit: bool = False,
+) -> ExperimentSpec:
+    """Content address of one incast fan-in point (store cache key)."""
+    return ExperimentSpec.create(
+        "incast-sweep", scheme=scheme_name, scheduler="dwrr",
+        audit=audit,
+        params={"fanin": fanin, "response_bytes": response_bytes,
+                "buffer_packets": buffer_packets, "link_rate": link_rate,
+                "duration": duration},
+    )
+
 
 def incast_sweep(
     scheme_name: str = "pmsb",
@@ -456,8 +509,10 @@ def incast_sweep(
     response_bytes: int = 20_000,
     buffer_packets: int = 128,
     link_rate: float = 10e9,
-    duration: float = 0.1,
-    audit: Optional[bool] = None,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+    store: Optional[Union[RunStore, str]] = None,
 ) -> "List[IncastRow]":
     """The classic partition/aggregate incast microbenchmark.
 
@@ -466,14 +521,36 @@ def incast_sweep(
     cannot prevent the synchronized initial burst, but the scheme
     determines how fast senders back off afterwards and therefore how
     the tail FCT scales with fan-in.
+
+    With ``store`` (or ``config.cache_dir``) each fan-in point is cached
+    under its :func:`incast_point_spec` content address, with the same
+    skip-completed / ``config.force`` semantics as the FCT sweep.
     """
     from ..metrics.fct import FctCollector
     from ..metrics.stats import summarize
     from .scenario import make_scheme
 
+    config = resolve_run_config(config, "incast_sweep",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.1
+    audit = config.audit
+    if store is None and config.cache_dir:
+        store = config.cache_dir
+    if store is not None and not isinstance(store, RunStore):
+        store = RunStore(os.fspath(store))
+    force = config.force or not config.resume
+
     scheme = make_scheme(scheme_name, link_rate=link_rate, n_queues=2)
     rows: "List[IncastRow]" = []
     for fanin in fanins:
+        spec = incast_point_spec(scheme_name, fanin, response_bytes,
+                                 buffer_packets, link_rate, duration,
+                                 audit=audit_enabled(audit))
+        if store is not None and not force:
+            record = store.get(spec)
+            if record is not None:
+                rows.append(IncastRow.from_payload(record.result))
+                continue
         sim = Simulator()
         auditor = _attach_auditor(sim, audit)
         network = single_bottleneck(
@@ -496,15 +573,17 @@ def incast_sweep(
         if auditor is not None:
             auditor.verify_fabric()
         fcts = collector.fcts()
-        rows.append(
-            IncastRow(
-                scheme=scheme.name,
-                fanin=fanin,
-                drops=network.bottleneck_port.drops,
-                completed=len(collector),
-                fct_p99=summarize(fcts).p99 if fcts else None,
-                retransmission_timeouts=sum(h.sender.timeouts
-                                            for h in handles),
-            )
+        row = IncastRow(
+            scheme=scheme.name,
+            fanin=fanin,
+            drops=network.bottleneck_port.drops,
+            completed=len(collector),
+            fct_p99=summarize(fcts).p99 if fcts else None,
+            retransmission_timeouts=sum(h.sender.timeouts
+                                        for h in handles),
         )
+        if store is not None:
+            store.put(spec, row.to_payload(), make_provenance(
+                engine={"events_processed": sim.events_processed}))
+        rows.append(row)
     return rows

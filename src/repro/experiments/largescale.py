@@ -18,8 +18,10 @@ WFQ (it raises — no round concept), matching the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..metrics.fct import FctCollector, SizeClass
 from ..metrics.stats import SummaryStats
@@ -29,14 +31,37 @@ from ..scheduling.wfq import WfqScheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
 from ..sim.rng import make_rng
+from ..store.runstore import RunStore, make_provenance
+from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
+                          resolve_run_config)
 from ..transport.endpoints import open_flow
 from ..workloads.distributions import PAPER_MIX, SizeDistribution
 from ..workloads.generator import PoissonFlowGenerator
 from .scale import BENCH, ScaleProfile
 from .scenario import SchemeSpec, make_scheme
 
-__all__ = ["FctRow", "largescale_scheme", "run_fct_point", "run_fct_sweep",
-           "reduction_percent", "LARGESCALE_SCHEMES"]
+__all__ = ["FctRow", "fct_point_spec", "largescale_scheme", "run_fct_point",
+           "run_fct_sweep", "reduction_percent", "LARGESCALE_SCHEMES"]
+
+#: Test/CI hook: when set to N > 0, a store-backed sweep raises after
+#: this process has computed (and persisted) N fresh points — a
+#: deterministic stand-in for "the job was killed mid-sweep" that the
+#: resume tests and the CI resume job rely on.  Cached points do not
+#: count, so a resumed run completes even with the variable still set
+#: lower than the remaining work.
+CRASH_AFTER_ENV = "REPRO_SWEEP_CRASH_AFTER"
+
+_points_computed = 0
+
+
+def _note_point_computed() -> None:
+    global _points_computed
+    _points_computed += 1
+    limit = int(os.environ.get(CRASH_AFTER_ENV, "0") or "0")
+    if limit and _points_computed >= limit:
+        raise RuntimeError(
+            f"injected crash: {CRASH_AFTER_ENV}={limit} and this process "
+            f"computed {_points_computed} points")
 
 #: Scheme line-up of the DWRR figures; WFQ drops "mq-ecn".
 LARGESCALE_SCHEMES = ("pmsb", "pmsb-e", "mq-ecn", "tcn")
@@ -114,6 +139,53 @@ class FctRow:
             return None
         return getattr(summary, name)
 
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-able dict for run-store persistence (inverse of
+        :meth:`from_payload`; floats survive the round trip exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "FctRow":
+        def stats(block: Optional[Mapping[str, Any]]) -> Optional[SummaryStats]:
+            return None if block is None else SummaryStats(**block)
+
+        return cls(
+            scheme=data["scheme"],
+            scheduler=data["scheduler"],
+            load=data["load"],
+            n_flows=data["n_flows"],
+            completed=data["completed"],
+            overall=stats(data["overall"]),
+            small=stats(data["small"]),
+            medium=stats(data["medium"]),
+            large=stats(data["large"]),
+        )
+
+
+def fct_point_spec(
+    scheme_name: str,
+    scheduler_name: str,
+    load: float,
+    profile: ScaleProfile,
+    seed: int,
+    audit: bool = False,
+    topology: str = "leaf-spine",
+    fat_tree_k: int = 4,
+) -> ExperimentSpec:
+    """The canonical identity of one §VI-B FCT point (store cache key).
+
+    Everything that determines the row's numbers is in here; execution
+    mechanics (worker count, profiler, cache location) deliberately are
+    not — see :class:`~repro.store.ExperimentSpec`.
+    """
+    params: Dict[str, Any] = {"topology": topology}
+    if topology == "fat-tree":
+        params["fat_tree_k"] = fat_tree_k
+    return ExperimentSpec.create(
+        "fct-point", scheme=scheme_name, scheduler=scheduler_name,
+        load=load, seed=seed, profile=profile, audit=audit, params=params,
+    )
+
 
 def _make_scheduler_factory(scheduler_name: str):
     if scheduler_name == "dwrr":
@@ -131,14 +203,16 @@ def run_fct_point(
     scheme_name: str,
     scheduler_name: str = "dwrr",
     load: float = 0.5,
-    profile: ScaleProfile = BENCH,
-    seed: int = 1,
+    profile: Optional[ScaleProfile] = None,
+    seed: Optional[int] = None,
     size_distribution: Optional[SizeDistribution] = None,
     topology: str = "leaf-spine",
     fat_tree_k: int = 4,
     size_scale: Optional[float] = None,
-    profile_events: bool = False,
-    audit: Optional[bool] = None,
+    profile_events: bool = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+    provenance_out: Optional[Dict[str, Any]] = None,
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
@@ -147,11 +221,25 @@ def run_fct_point(
     as a robustness check on a different fabric.  When passing a custom
     ``size_distribution`` that is already scaled, pass the matching
     ``size_scale`` so the small/large class boundaries scale with it.
-    With ``profile_events`` a :class:`~repro.sim.profile.SimProfiler`
-    rides along and its plain-text report is printed after the run.
-    ``audit`` attaches a :class:`~repro.sim.audit.FabricAuditor` across
-    the whole fabric (None defers to the process default).
+    Execution knobs come from ``config``
+    (:class:`~repro.store.RunConfig`): with ``config.profile_events`` a
+    :class:`~repro.sim.profile.SimProfiler` rides along and its
+    plain-text report is printed after the run; ``config.audit``
+    attaches a :class:`~repro.sim.audit.FabricAuditor` across the whole
+    fabric (None defers to the process default).  The ``audit=`` /
+    ``profile_events=`` keyword spellings are deprecated aliases.
+    ``provenance_out``, when given, is filled with wall time and engine
+    counters for run-store provenance.
     """
+    config = resolve_run_config(config, "run_fct_point",
+                                profile_events=profile_events, audit=audit)
+    if profile is None:
+        profile = config.profile if config.profile is not None else BENCH
+    if seed is None:
+        seed = config.seed if config.seed is not None else 1
+    profile_events = config.profile_events
+    audit = config.audit
+    wall_start = time.perf_counter()
     if topology == "leaf-spine":
         scheme = largescale_scheme(scheme_name, profile.link_rate,
                                    base_rtt_hops=4)
@@ -214,6 +302,14 @@ def run_fct_point(
               f"seed {seed}]")
         print(profiler.report())
 
+    if provenance_out is not None:
+        provenance_out["elapsed_s"] = time.perf_counter() - wall_start
+        provenance_out["engine"] = {
+            "events_processed": sim.events_processed,
+            "cancelled_pending": sim.cancelled_pending,
+            "compactions": sim.compactions,
+        }
+
     by_class = collector.summary_by_class()
     return FctRow(
         scheme=scheme.name,
@@ -232,7 +328,7 @@ def run_fct_point_multi(
     scheme_name: str,
     scheduler_name: str = "dwrr",
     load: float = 0.5,
-    profile: ScaleProfile = BENCH,
+    profile: Optional[ScaleProfile] = None,
     seeds: Sequence[int] = (1, 2, 3),
 ) -> FctRow:
     """One load point averaged over several workload seeds.
@@ -264,21 +360,51 @@ def run_fct_point_multi(
 
 
 def _sweep_worker(point) -> FctRow:
-    """Module-level (picklable) worker for one sweep point."""
+    """Module-level (picklable) worker for one sweep point.
+
+    With a ``cache_dir`` the worker is the cache boundary: it answers
+    hits from the store without simulating, and persists fresh results
+    atomically *before* returning, so a crash between points — real or
+    injected via :data:`CRASH_AFTER_ENV` — loses at most the point in
+    flight.  Workers on different points write different keys; workers
+    racing on the same key write identical bytes.  Either way the store
+    stays consistent at any ``--jobs`` level.
+    """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit) = point
-    return run_fct_point(scheme_name, scheduler_name, load, profile, seed,
-                         profile_events=profile_events, audit=audit)
+     audit, cache_dir, force) = point
+    store = RunStore(cache_dir) if cache_dir else None
+    spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
+                          audit=audit)
+    if store is not None and not force:
+        record = store.get(spec)
+        if record is not None:
+            return FctRow.from_payload(record.result)
+    provenance_out: Dict[str, Any] = {}
+    row = run_fct_point(
+        scheme_name, scheduler_name, load, profile, seed,
+        config=RunConfig(profile_events=profile_events, audit=audit),
+        provenance_out=provenance_out,
+    )
+    if store is not None:
+        store.put(spec, row.to_payload(), make_provenance(
+            profile_name=profile.name,
+            elapsed_s=provenance_out.get("elapsed_s"),
+            engine=provenance_out.get("engine"),
+        ))
+        _note_point_computed()
+    return row
 
 
 def run_fct_sweep(
     scheme_names: Sequence[str] = LARGESCALE_SCHEMES,
     scheduler_name: str = "dwrr",
-    profile: ScaleProfile = BENCH,
-    seed: int = 1,
-    jobs: Optional[int] = None,
-    profile_events: bool = False,
-    audit: Optional[bool] = None,
+    profile: Optional[ScaleProfile] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = UNSET,
+    profile_events: bool = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+    store: Optional[Union[RunStore, str]] = None,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
@@ -288,19 +414,43 @@ def run_fct_sweep(
 
     The points are independent simulations, each fully determined by its
     ``(scheme, scheduler, load, profile, seed)`` tuple, so they fan out
-    over ``jobs`` worker processes (``None`` → the profile's default,
-    ``0`` → all cores, ``1`` → serial) with results identical to the
-    serial run — in value and in order — at every jobs level.
+    over worker processes (``config.jobs``: ``None`` → the profile's
+    default, ``0`` → all cores, ``1`` → serial) with results identical
+    to the serial run — in value and in order — at every jobs level.
+
+    With ``store`` (a :class:`~repro.store.RunStore` or its root path) or
+    ``config.cache_dir``, each point is keyed by its
+    :func:`fct_point_spec` content address: completed points are read
+    back instead of re-simulated, an interrupted sweep resumes from
+    whatever its workers persisted, and ``config.force`` (or
+    ``config.resume=False``) recomputes and overwrites.  The ``jobs=`` /
+    ``profile_events=`` / ``audit=`` keyword spellings are deprecated
+    aliases for the corresponding :class:`~repro.store.RunConfig`
+    fields.
     """
     from .runner import run_parallel
 
-    if jobs is None:
-        jobs = profile.jobs
+    config = resolve_run_config(config, "run_fct_sweep", jobs=jobs,
+                                profile_events=profile_events, audit=audit)
+    if profile is None:
+        profile = config.profile if config.profile is not None else BENCH
+    if seed is None:
+        seed = config.seed if config.seed is not None else 1
+    jobs = config.jobs if config.jobs is not None else profile.jobs
+    if store is None and config.cache_dir:
+        store = config.cache_dir
+    cache_dir = (store.root if isinstance(store, RunStore)
+                 else os.fspath(store) if store else None)
+    force = config.force or not config.resume
+
+    global _points_computed
+    _points_computed = 0
     # The audit choice is resolved here and shipped inside each point so
     # worker processes need not share this process's audit default.
     points = [
-        (name, scheduler_name, load, profile, seed, profile_events,
-         audit_enabled(audit))
+        (name, scheduler_name, load, profile, seed,
+         config.profile_events, audit_enabled(config.audit),
+         cache_dir, force)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..ecn.base import MarkPoint
 from ..scheduling.fifo import FifoScheduler
+from ..store.spec import RunConfig
 from .scenario import SchemeSpec, incast_flows, make_scheme, run_incast
 
 __all__ = ["TraceResult", "buffer_trace", "dctcp_enqueue_dequeue",
@@ -63,8 +64,8 @@ def buffer_trace(
     """Run the 4-flow single-queue incast and trace the buffer."""
     result = run_incast(
         scheme, lambda: FifoScheduler(1), incast_flows([n_flows]),
-        duration=duration, link_rate=link_rate, trace_occupancy=True,
-        init_cwnd=init_cwnd,
+        link_rate=link_rate, trace_occupancy=True, init_cwnd=init_cwnd,
+        config=RunConfig(duration=duration),
     )
     times, occupancy = result.trace.as_arrays()
     return TraceResult(

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from ..metrics.stats import SummaryStats, summarize
+from ..store.spec import RunConfig
 from ..scheduling.dwrr import DwrrScheduler
 from .scenario import incast_flows, make_scheme, run_incast
 
@@ -52,8 +53,8 @@ def per_queue_standard_rtt(
             flows_per_queue[i % n_queues] += 1
         result = run_incast(
             scheme, lambda n=n_queues: DwrrScheduler(n),
-            incast_flows(flows_per_queue), duration=duration,
-            link_rate=link_rate, record_rtt=True,
+            incast_flows(flows_per_queue), link_rate=link_rate,
+            record_rtt=True, config=RunConfig(duration=duration),
         )
         samples = result.rtt_samples()
         # Skip the slow-start transient: drop the first third of samples.
@@ -84,8 +85,8 @@ def per_queue_fractional_throughput(
         flows_per_queue[0] = 1
         result = run_incast(
             scheme, lambda: DwrrScheduler(n_queues),
-            incast_flows(flows_per_queue), duration=duration,
-            link_rate=link_rate,
+            incast_flows(flows_per_queue), link_rate=link_rate,
+            config=RunConfig(duration=duration),
         )
         results[threshold] = result.queue_gbps[0]
     return results
@@ -130,8 +131,8 @@ def per_port_victim(
     )
     result = run_incast(
         scheme, lambda: DwrrScheduler(2),
-        incast_flows([1, flows_queue2]), duration=duration,
-        link_rate=link_rate,
+        incast_flows([1, flows_queue2]), link_rate=link_rate,
+        config=RunConfig(duration=duration),
     )
     return VictimResult(
         port_threshold=port_threshold,

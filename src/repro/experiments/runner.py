@@ -74,11 +74,22 @@ def run_parallel(
     if jobs <= 1 or not _fork_available():
         return [worker(config) for config in config_list]
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
     try:
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            return list(pool.map(worker, config_list))
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
     except (OSError, PermissionError, RuntimeError):
-        # Sandboxes and exotic platforms can refuse process creation even
-        # when fork is nominally available; the sweep still completes.
+        # Exotic platforms can refuse to even build a fork context; the
+        # sweep still completes.
+        return [worker(config) for config in config_list]
+    try:
+        with pool:
+            return list(pool.map(worker, config_list))
+    except (BrokenProcessPool, PermissionError):
+        # Sandboxes can refuse process creation only once the first
+        # worker actually spawns.  Only pool-infrastructure failures
+        # degrade to the serial path — an exception raised *by the
+        # worker itself* (e.g. the run store's injected-crash hook)
+        # propagates unchanged, because retrying it serially would
+        # silently mask real failures.
         return [worker(config) for config in config_list]

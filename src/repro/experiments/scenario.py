@@ -30,6 +30,7 @@ from ..net.topology import Network, single_bottleneck
 from ..scheduling.base import Scheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
+from ..store.spec import RunConfig, UNSET, resolve_run_config
 from ..transport.base import DctcpConfig
 from ..transport.endpoints import FlowHandle, open_flow
 from ..transport.flow import Flow
@@ -193,7 +194,7 @@ def run_incast(
     scheme: SchemeSpec,
     scheduler_factory: Callable[[], Scheduler],
     flows: Sequence[Flow],
-    duration: float = 0.04,
+    duration: float = UNSET,
     warmup_fraction: float = 1.0 / 3.0,
     link_rate: float = 10e9,
     record_rtt: bool = False,
@@ -201,17 +202,25 @@ def run_incast(
     rate_limits: Optional[Dict[int, float]] = None,
     init_cwnd: float = 16.0,
     buffer_packets: int = 1000,
-    audit: Optional[bool] = None,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
     ``rate_limits`` maps flow *src host id* → pacing rate (the paper's
     "start a 5 Gbps TCP flow" sources).  Throughput is averaged over the
-    post-warmup window.  ``audit`` attaches a
+    post-warmup window.  Execution knobs come from ``config``
+    (:class:`~repro.store.RunConfig`): ``config.duration`` is the
+    simulated time (default 0.04 s) and ``config.audit`` attaches a
     :class:`~repro.sim.audit.FabricAuditor` to the whole fabric and runs
     a final conservation pass (None defers to the process default the
-    CLI's ``--audit`` flag sets).
+    CLI's ``--audit`` flag sets).  The ``duration=`` / ``audit=``
+    keyword spellings are deprecated aliases for those fields.
     """
+    config = resolve_run_config(config, "run_incast",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.04
+    audit = config.audit
     n_senders = max(flow.src for flow in flows) + 1
     sim = Simulator()
     auditor = FabricAuditor(sim) if audit_enabled(audit) else None

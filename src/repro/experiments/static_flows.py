@@ -18,6 +18,7 @@ from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.hybrid import SpWfqScheduler
 from ..scheduling.strict_priority import StrictPriorityScheduler
 from ..scheduling.wfq import WfqScheduler
+from ..store.spec import RunConfig
 from .scenario import (IncastResult, SchemeSpec, incast_flows, make_scheme,
                        run_incast)
 
@@ -58,8 +59,9 @@ def weighted_fair_sharing(
         for index, flow in enumerate(flows[1:]):
             flow.start_time = stagger * index / max(1, flows_queue2 - 1)
     return run_incast(
-        scheme, lambda: DwrrScheduler(2), flows, duration=duration,
+        scheme, lambda: DwrrScheduler(2), flows,
         warmup_fraction=warmup_fraction, link_rate=link_rate,
+        config=RunConfig(duration=duration),
     )
 
 
@@ -91,8 +93,8 @@ def rtt_distribution(
         )
         result = run_incast(
             scheme, lambda: DwrrScheduler(2),
-            incast_flows([1, flows_queue2]), duration=duration,
-            link_rate=link_rate, record_rtt=True,
+            incast_flows([1, flows_queue2]), link_rate=link_rate,
+            record_rtt=True, config=RunConfig(duration=duration),
         )
         samples = result.rtt_samples(queue_index=1)
         steady = samples[len(samples) // 3:]
@@ -138,8 +140,9 @@ def _run_policy(
         for flow in flows if flow.service in rate_limits_by_queue
     }
     result = run_incast(
-        scheme, scheduler_factory, flows, duration=duration,
-        link_rate=link_rate, rate_limits=rate_limits or None,
+        scheme, scheduler_factory, flows, link_rate=link_rate,
+        rate_limits=rate_limits or None,
+        config=RunConfig(duration=duration),
     )
     n_queues = len(flows_per_queue)
     phase_gbps: Dict[str, Dict[int, float]] = {}

@@ -69,17 +69,24 @@ def series_to_csv(times: Sequence[float], values: Sequence[float],
 
 
 def rows_to_csv(rows: Iterable[Any], target: PathOrFile) -> None:
-    """Write a list of dataclass rows (sweep results) as CSV.
+    """Write a list of rows (sweep results) as CSV.
 
-    Nested :class:`SummaryStats` fields are flattened to
+    Rows are dataclass instances or plain mappings — run-store records
+    hand back dicts, live sweeps hand back dataclasses, and both export
+    identically.  Nested :class:`SummaryStats` fields are flattened to
     ``<field>_mean``, ``<field>_p95`` … columns.
     """
     flattened: List[dict] = []
     for row in rows:
-        if not is_dataclass(row):
-            raise TypeError(f"expected dataclass rows, got {type(row)!r}")
+        if is_dataclass(row) and not isinstance(row, type):
+            items = asdict(row)
+        elif isinstance(row, dict):
+            items = row
+        else:
+            raise TypeError(
+                f"expected dataclass or dict rows, got {type(row)!r}")
         flat: dict = {}
-        for key, value in asdict(row).items():
+        for key, value in items.items():
             if isinstance(value, dict) and set(value) >= {"mean", "p99"}:
                 for stat_name, stat_value in value.items():
                     flat[f"{key}_{stat_name}"] = stat_value

@@ -9,11 +9,13 @@ the draws seen by existing ones.
 
 from __future__ import annotations
 
-from typing import Iterator
+import hashlib
+import json
+from typing import Any, Iterator
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "stable_hash"]
+__all__ = ["make_rng", "spawn", "stable_hash", "stable_digest"]
 
 _GOLDEN64 = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
@@ -46,3 +48,45 @@ def stable_hash(*parts: int) -> int:
         acc = (acc * 0x94D049BB133111EB) & _MASK64
         acc ^= acc >> 31
     return acc
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to the JSON-stable subset ``stable_digest`` hashes.
+
+    Mappings are key-sorted, sequences become lists, and anything outside
+    str/int/float/bool/None is rejected rather than hashed by repr — an
+    unhashable-by-accident object must fail loudly, not silently change
+    the digest between releases.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(f"stable_digest keys must be str, got "
+                                f"{type(key)!r}")
+            out[key] = _canonical(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"not stable-hashable: {type(value)!r}")
+
+
+def stable_digest(value: Any) -> str:
+    """A process-independent SHA-256 hex digest of a JSON-able value.
+
+    The run store keys every experiment point by this digest of its
+    canonicalized :class:`~repro.store.ExperimentSpec`; the same spec must
+    hash identically in every worker process, on every platform and at
+    every ``--jobs`` level.  Canonical form: sorted dict keys, tuples as
+    lists, floats via ``repr`` (exact for round-tripping doubles), no
+    whitespace.  Python's salted ``hash()`` must never leak in here.
+    """
+    blob = json.dumps(_canonical(value), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()

@@ -97,6 +97,28 @@ class TestAuditFlag:
         assert "q1" in capsys.readouterr().out
 
 
+class TestCommonFlags:
+    def test_every_command_accepts_common_flags(self):
+        # The shared parent parser: identical spellings everywhere.
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args(
+                [name, "--duration", "0.01", "--profile", "tiny",
+                 "--jobs", "2", "--audit", "--json", "x.json",
+                 "--csv", "x.csv"])
+            assert args.duration == 0.01
+            assert args.profile == "tiny"
+            assert args.jobs == 2
+            assert args.audit is True
+
+    def test_scale_is_profile_alias(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "--scale", "tiny"]).profile \
+            == "tiny"
+        assert parser.parse_args(["fig3", "--scale", "bench"]).profile \
+            == "bench"
+
+
 class TestSweepParallelFlags:
     def test_jobs_flag(self):
         parser = build_parser()
@@ -107,15 +129,11 @@ class TestSweepParallelFlags:
         parser = build_parser()
         assert parser.parse_args(["sweep"]).jobs is None
 
-    def test_scale_selects_profile(self):
+    def test_profile_events_flag(self):
         parser = build_parser()
-        args = parser.parse_args(["sweep", "--scale", "tiny"])
-        assert args.scale == "tiny"
-
-    def test_profile_flag_enables_profiler(self):
-        parser = build_parser()
-        assert parser.parse_args(["sweep", "--profile"]).profile is True
-        assert parser.parse_args(["sweep"]).profile is False
+        assert parser.parse_args(
+            ["sweep", "--profile-events"]).profile_events is True
+        assert parser.parse_args(["sweep"]).profile_events is False
 
     def test_sweep_tiny_serial_equals_parallel(self, capsys):
         argv = ["sweep", "--scale", "tiny", "--seed", "3"]
@@ -124,3 +142,75 @@ class TestSweepParallelFlags:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert serial_out == parallel_out
+
+
+class TestSweepCacheFlags:
+    def test_cache_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--cache-dir", "/tmp/c", "--resume"])
+        assert args.cache_dir == "/tmp/c"
+        assert args.resume is True
+        assert args.force is False
+
+    def test_resume_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--resume"])
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_force_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--force"])
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_cached_sweep_output_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["sweep", "--profile", "tiny", "--seed", "5",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert main(argv) == 0  # every point answered from the store
+        warm_out = capsys.readouterr().out
+        assert cold_out == warm_out
+
+
+class TestRunsGroup:
+    def test_runs_without_subcommand_lists(self, capsys):
+        assert main(["runs"]) == 0
+        out = capsys.readouterr().out
+        assert "list" in out and "gc" in out
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        assert main(["runs", "list", "--cache-dir",
+                     str(tmp_path / "empty")]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_list_show_diff_gc_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--profile", "tiny", "--seed", "5",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "fct-point" in out and "pmsb" in out
+
+        from repro.store import RunStore
+        keys = RunStore(cache).keys()
+        assert main(["runs", "show", "--cache-dir", cache,
+                     keys[0][:12]]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["key"] == keys[0]
+        assert payload["spec"]["experiment"] == "fct-point"
+
+        assert main(["runs", "diff", "--cache-dir", cache,
+                     keys[0], keys[1]]) == 0
+        assert "spec." in capsys.readouterr().out
+
+        assert main(["runs", "gc", "--cache-dir", cache]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_show_miss_exits_nonzero(self, tmp_path, capsys):
+        assert main(["runs", "show", "--cache-dir",
+                     str(tmp_path / "c"), "deadbeef"]) == 1
+        assert "no record" in capsys.readouterr().err

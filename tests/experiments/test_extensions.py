@@ -5,41 +5,42 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.extensions import pmsbe_coexistence, service_pool_victim
+from repro.store import RunConfig
 
-FAST = 0.01
+FAST = RunConfig(duration=0.01)
 
 
 class TestServicePoolConjecture:
     def test_cross_port_victim_exists(self):
-        result = service_pool_victim(duration=FAST)
+        result = service_pool_victim(config=FAST)
         # Port A's lone flow cannot fill its own uncontended link.
         assert result.port_a_utilization < 0.6
         assert result.pool_marked > 0
 
     def test_big_pool_threshold_removes_interference(self):
-        result = service_pool_victim(pool_threshold=500.0, duration=FAST)
+        result = service_pool_victim(pool_threshold=500.0, config=FAST)
         assert result.port_a_utilization > 0.8
 
     def test_port_b_unaffected(self):
-        result = service_pool_victim(duration=FAST)
+        result = service_pool_victim(config=FAST)
         # The 8 flows collectively saturate their link either way.
         assert result.port_b_gbps > 8.0
 
 
 class TestCoexistence:
     def test_baseline_victim(self):
-        result = pmsbe_coexistence(victim_upgraded=False, duration=FAST)
+        result = pmsbe_coexistence(victim_upgraded=False, config=FAST)
         assert result.fair_share_error > 0.3
         assert result.victim_filtered_marks == 0
 
     def test_upgrade_reclaims_fair_share(self):
-        result = pmsbe_coexistence(victim_upgraded=True, duration=FAST)
+        result = pmsbe_coexistence(victim_upgraded=True, config=FAST)
         assert result.fair_share_error < 0.15
         assert result.victim_filtered_marks > 0
 
     def test_others_keep_their_aggregate_share(self):
-        baseline = pmsbe_coexistence(victim_upgraded=False, duration=FAST)
-        upgraded = pmsbe_coexistence(victim_upgraded=True, duration=FAST)
+        baseline = pmsbe_coexistence(victim_upgraded=False, config=FAST)
+        upgraded = pmsbe_coexistence(victim_upgraded=True, config=FAST)
         total_base = baseline.victim_gbps + baseline.others_gbps
         total_up = upgraded.victim_gbps + upgraded.others_gbps
         # Link stays fully utilized; the upgrade redistributes, not
@@ -50,14 +51,16 @@ class TestCoexistence:
 class TestIncastSweep:
     def test_rows_cover_fanins(self):
         from repro.experiments.extensions import incast_sweep
-        rows = incast_sweep("pmsb", fanins=(8, 16), duration=0.05)
+        rows = incast_sweep("pmsb", fanins=(8, 16),
+                            config=RunConfig(duration=0.05))
         assert [row.fanin for row in rows] == [8, 16]
         assert all(row.completed == row.fanin for row in rows)
 
     def test_ecn_beats_droptail_at_scale(self):
         from repro.experiments.extensions import incast_sweep
-        pmsb = incast_sweep("pmsb", fanins=(48,), duration=0.08)[0]
-        droptail = incast_sweep("none", fanins=(48,), duration=0.08)[0]
+        slow = RunConfig(duration=0.08)
+        pmsb = incast_sweep("pmsb", fanins=(48,), config=slow)[0]
+        droptail = incast_sweep("none", fanins=(48,), config=slow)[0]
         assert pmsb.completed == droptail.completed == 48
         assert (pmsb.retransmission_timeouts
                 <= droptail.retransmission_timeouts)

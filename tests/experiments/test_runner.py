@@ -81,6 +81,25 @@ class TestRunParallel:
             0, 1, 4, 9, 16]
 
 
+def boom(config):
+    if config == 3:
+        raise RuntimeError("worker failure")
+    return config
+
+
+class TestWorkerExceptions:
+    """Worker-raised exceptions must surface, not trigger the serial
+    fallback — the run store's injected-crash hook depends on it."""
+
+    def test_propagates_serial(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_parallel(range(5), boom, jobs=1)
+
+    def test_propagates_parallel(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_parallel(range(5), boom, jobs=2)
+
+
 class TestAvailableJobs:
     def test_at_least_one(self):
         assert available_jobs() >= 1

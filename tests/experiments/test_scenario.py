@@ -14,6 +14,7 @@ from repro.ecn.tcn import TcnMarker
 from repro.experiments.scenario import (SCHEME_NAMES, incast_flows,
                                         make_scheme, run_incast)
 from repro.scheduling.dwrr import DwrrScheduler
+from repro.store import RunConfig
 
 
 class TestMakeScheme:
@@ -101,7 +102,7 @@ class TestRunIncast:
     def test_returns_queue_rates(self):
         result = run_incast(
             make_scheme("pmsb"), lambda: DwrrScheduler(2),
-            incast_flows([1, 1]), duration=0.004,
+            incast_flows([1, 1]), config=RunConfig(duration=0.004),
         )
         assert set(result.queue_gbps) == {0, 1}
         assert result.total_gbps > 5.0  # link mostly utilized
@@ -109,7 +110,8 @@ class TestRunIncast:
     def test_trace_capture(self):
         result = run_incast(
             make_scheme("pmsb"), lambda: DwrrScheduler(2),
-            incast_flows([1, 1]), duration=0.002, trace_occupancy=True,
+            incast_flows([1, 1]), config=RunConfig(duration=0.002),
+            trace_occupancy=True,
         )
         assert result.trace is not None
         assert result.trace.peak > 0
@@ -117,7 +119,8 @@ class TestRunIncast:
     def test_rtt_capture_by_queue(self):
         result = run_incast(
             make_scheme("pmsb"), lambda: DwrrScheduler(2),
-            incast_flows([1, 2]), duration=0.002, record_rtt=True,
+            incast_flows([1, 2]), config=RunConfig(duration=0.002),
+            record_rtt=True,
         )
         assert len(result.rtt_samples(queue_index=1)) > 0
         total = len(result.rtt_samples())

@@ -15,6 +15,7 @@ from repro.scheduling.dwrr import DwrrScheduler
 from repro.scheduling.wfq import WfqScheduler
 from repro.sim.audit import FabricAuditor
 from repro.sim.engine import Simulator
+from repro.store import RunConfig
 
 pytestmark = pytest.mark.slow
 
@@ -29,8 +30,7 @@ class TestAuditedIncast:
             make_scheme(scheme_name),
             lambda: DwrrScheduler(2),
             incast_flows([1, 2]),
-            duration=0.01,
-            audit=True,
+            config=RunConfig(duration=0.01, audit=True),
         )
 
     def test_wfq_and_bounded_buffer_pass_audit(self):
@@ -39,9 +39,8 @@ class TestAuditedIncast:
             make_scheme("per-port"),
             lambda: WfqScheduler(2),
             incast_flows([2, 4]),
-            duration=0.01,
             buffer_packets=10,
-            audit=True,
+            config=RunConfig(duration=0.01, audit=True),
         )
 
     def test_audit_counts_checks_and_flows(self):
@@ -49,7 +48,8 @@ class TestAuditedIncast:
         # auditor through the network's simulator.
         result = run_incast(
             make_scheme("pmsb"), lambda: DwrrScheduler(2),
-            incast_flows([1, 1]), duration=0.005, audit=True,
+            incast_flows([1, 1]),
+            config=RunConfig(duration=0.005, audit=True),
         )
         auditor = result.network.sim.auditor
         assert auditor is not None
@@ -63,14 +63,14 @@ class TestAuditedFctPoint:
         from repro.experiments.largescale import run_fct_point
 
         row = run_fct_point("pmsb", "dwrr", 0.3, profile=TINY, seed=1,
-                            audit=True)
+                            config=RunConfig(audit=True))
         assert row.n_flows > 0
 
     def test_tiny_mq_ecn_passes_audit(self):
         from repro.experiments.largescale import run_fct_point
 
         row = run_fct_point("mq-ecn", "dwrr", 0.3, profile=TINY, seed=2,
-                            audit=True)
+                            config=RunConfig(audit=True))
         assert row.n_flows > 0
 
 

@@ -68,9 +68,19 @@ class TestRowsCsv:
         assert float(parsed[0]["overall_mean"]) == 1.5
         assert parsed[0]["medium"] == ""
 
-    def test_rejects_non_dataclass(self):
+    def test_accepts_plain_dicts(self):
+        # Run-store records hand back dicts; they flatten identically
+        # to the dataclass rows they round-tripped from.
+        buffer = io.StringIO()
+        rows_to_csv([{"scheme": "PMSB",
+                      "overall": {"mean": 1.5, "p99": 2.0}}], buffer)
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert parsed[0]["scheme"] == "PMSB"
+        assert float(parsed[0]["overall_mean"]) == 1.5
+
+    def test_rejects_non_row_values(self):
         with pytest.raises(TypeError):
-            rows_to_csv([{"a": 1}], io.StringIO())
+            rows_to_csv(["not-a-row"], io.StringIO())
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
