@@ -2,23 +2,49 @@
 
 Not a paper artifact: measures how many packet-level events per second
 the substrate processes, which bounds what the scale profiles can
-afford.  Three workloads: the raw event loop (pure engine overhead), a
+afford.  Four workloads: the raw event loop (pure engine overhead), a
 full 1:8 PMSB incast (engine + port + scheduler + marker + transport),
-and a long incast that asserts the engine's heap compaction keeps
+a long incast that asserts the engine's heap compaction keeps
 lazy-cancellation debt bounded (every ACK pushes the RTO timer back;
 without compaction + lazy timer push-back the heap grows with dead
-entries and every push/pop pays an extra log factor).
+entries and every push/pop pays an extra log factor), and an A/B run
+of the optimized datapath (timing-wheel tier + packet pool + flattened
+fan-out) against the ``REPRO_SLOW_PATH`` reference engine that records
+the measured speedup in ``BENCH_engine.json`` at the repo root.
+
+The A/B run interleaves fast and slow trials in one process so that
+machine-wide noise (thermal drift, co-tenants) hits both modes equally;
+the ratio of medians is far more stable than either absolute number.
+Two env knobs gate it: ``REPRO_ENGINE_SPEEDUP_GATE`` (default 1.25)
+sets the minimum acceptable fast/slow ratio, and
+``REPRO_ENGINE_REGRESSION_FACTOR`` — unset by default — additionally
+compares absolute optimized throughput against the committed
+``BENCH_engine.json`` baseline, failing if it dropped by more than
+that factor (CI sets 2 as a smoke threshold).
 """
+
+import gc
+import json
+import os
+from pathlib import Path
+from statistics import median
+from time import perf_counter
 
 from conftest import heading
 
 from repro.scheduling.dwrr import DwrrScheduler
 from repro.core.pmsb import PmsbMarker
+from repro.net.packet import POOL, set_pooling
 from repro.net.topology import single_bottleneck
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTask
 from repro.transport.endpoints import open_flow
 from repro.transport.flow import Flow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+AB_DURATION = 0.004
+AB_PAIRS = 5
 
 
 def test_raw_event_loop(benchmark):
@@ -97,3 +123,95 @@ def test_incast_heap_stays_bounded(benchmark):
     assert late <= 1.25 * early + 32
     # Compaction invariant: dead entries never dominate the heap.
     assert sim.cancelled_pending * 2 <= max(sim.pending_events, 64)
+
+
+def _incast_trial(slow: bool):
+    """One cold 1:8 PMSB incast; returns (events, elapsed, wheel, pool_hit)."""
+    set_pooling(not slow)
+    POOL.reset()
+    sim = Simulator(slow_path=slow)
+    network = single_bottleneck(
+        sim, 9, lambda: DwrrScheduler(2), lambda: PmsbMarker(16))
+    for i in range(9):
+        open_flow(network, Flow(src=i, dst=9, service=0 if i == 0 else 1))
+    gc.collect()
+    start = perf_counter()
+    sim.run(until=AB_DURATION)
+    elapsed = perf_counter() - start
+    return (sim.events_processed, elapsed,
+            sim.wheel_events_processed, POOL.hit_rate())
+
+
+def test_engine_ab_speedup_and_bench_json():
+    """Optimized datapath vs. REPRO_SLOW_PATH reference, interleaved.
+
+    Writes the before/after throughput record to ``BENCH_engine.json``
+    and asserts the speedup gate; also cross-checks determinism (both
+    modes must execute the identical number of events).
+    """
+    baseline_enabled = POOL.enabled
+    fast_rates, slow_rates = [], []
+    fast_events = slow_events = 0
+    wheel_events = 0
+    pool_hit = 0.0
+    try:
+        _incast_trial(slow=False)  # warm code paths once, untimed
+        for _ in range(AB_PAIRS):
+            fast_events, elapsed, wheel_events, pool_hit = \
+                _incast_trial(slow=False)
+            fast_rates.append(fast_events / elapsed)
+            slow_events, elapsed, _, _ = _incast_trial(slow=True)
+            slow_rates.append(slow_events / elapsed)
+    finally:
+        set_pooling(baseline_enabled)
+
+    fast = median(fast_rates)
+    slow = median(slow_rates)
+    speedup = fast / slow
+    wheel_share = wheel_events / fast_events if fast_events else 0.0
+    record = {
+        "benchmark": "1:8 PMSB incast, DWRR(2), 4 ms simulated, cold start",
+        "trials_per_mode": AB_PAIRS,
+        "events_per_run": fast_events,
+        "before": {
+            "mode": "REPRO_SLOW_PATH reference (heap-only, pooling off)",
+            "events_per_second": round(slow),
+        },
+        "after": {
+            "mode": "optimized (timing wheel + packet pool + flat fan-out)",
+            "events_per_second": round(fast),
+        },
+        "speedup": round(speedup, 3),
+        "wheel_share": round(wheel_share, 3),
+        "pool_hit_rate": round(pool_hit, 3),
+    }
+
+    regression_env = os.environ.get("REPRO_ENGINE_REGRESSION_FACTOR")
+    committed = None
+    if regression_env and BENCH_JSON.exists():
+        committed = json.loads(BENCH_JSON.read_text())
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    heading("Engine A/B — optimized vs REPRO_SLOW_PATH reference")
+    print(f"after  {fast:,.0f} ev/s | before {slow:,.0f} ev/s | "
+          f"speedup {speedup:.2f}x | wheel share {wheel_share:.1%} | "
+          f"pool hit rate {pool_hit:.1%}")
+
+    # Determinism cross-check: the fast path may only change timing, never
+    # the event sequence.
+    assert fast_events == slow_events
+    assert wheel_share > 0.5          # the wheel tier actually engaged
+    assert pool_hit > 0.5             # the pool actually recycled
+
+    gate = float(os.environ.get("REPRO_ENGINE_SPEEDUP_GATE", "1.25"))
+    assert speedup >= gate, (
+        f"optimized datapath only {speedup:.2f}x faster than the slow path "
+        f"(gate {gate}x)")
+
+    if committed is not None:
+        factor = float(regression_env)
+        floor = committed["after"]["events_per_second"] / factor
+        assert fast >= floor, (
+            f"optimized throughput {fast:,.0f} ev/s regressed more than "
+            f"{factor}x below the committed baseline "
+            f"{committed['after']['events_per_second']:,} ev/s")

@@ -116,7 +116,20 @@ class Marker:
 
 
 class NullMarker(Marker):
-    """Never marks — drop-tail behaviour (host NICs, non-ECN baselines)."""
+    """Never marks — drop-tail behaviour (host NICs, non-ECN baselines).
+
+    The port hooks are overridden as true no-ops: host NIC ports sit on
+    the datapath's hottest path and a marker that never marks has no
+    reason to pay the evaluate/decide dispatch per packet.  As a
+    consequence ``packets_seen`` stays 0 (``mark_fraction`` is 0.0 either
+    way).
+    """
+
+    def on_enqueue(self, port: "Port", queue_index: int, packet: Packet) -> None:
+        return
+
+    def on_dequeue(self, port: "Port", queue_index: int, packet: Packet) -> None:
+        return
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
         return False

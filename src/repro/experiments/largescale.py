@@ -306,6 +306,8 @@ def run_fct_point(
         provenance_out["elapsed_s"] = time.perf_counter() - wall_start
         provenance_out["engine"] = {
             "events_processed": sim.events_processed,
+            "wheel_events_processed": sim.wheel_events_processed,
+            "heap_events_processed": sim.heap_events_processed,
             "cancelled_pending": sim.cancelled_pending,
             "compactions": sim.compactions,
         }

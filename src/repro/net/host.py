@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..sim.engine import Simulator
-from .packet import Packet
+from .packet import DATA, Packet, release
 from .port import Port
 
 __all__ = ["Host"]
@@ -66,9 +66,14 @@ class Host:
         self.received_packets += 1
         self.received_bytes += packet.size
         # Reverse-path packets (ACK/CNP/NACK) go to the sender endpoint.
-        handlers = self._ack_handlers if packet.to_sender else self._data_handlers
+        # Direct kind check: the ``to_sender`` property costs a function
+        # call per delivered packet on the hottest dispatch point.
+        handlers = self._ack_handlers if packet.kind != DATA else self._data_handlers
         handler = handlers.get(packet.flow_id)
         if handler is not None:
             handler(packet)
-        # Packets for unregistered flows are silently dropped, mirroring a
-        # real host discarding segments for closed connections.
+        else:
+            # Unregistered flow: silently dropped, mirroring a real host
+            # discarding segments for closed connections.  This host is
+            # the packet's terminal consumer, so recycle it.
+            release(packet)

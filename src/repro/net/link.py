@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..sim.engine import Simulator
 from .interfaces import Device
-from .packet import Packet
+from .packet import Packet, release
 
 __all__ = ["Link"]
 
@@ -22,9 +22,9 @@ __all__ = ["Link"]
 class Link:
     """A unidirectional wire from an output port to a device."""
 
-    __slots__ = ("sim", "bandwidth", "delay", "dst", "name",
+    __slots__ = ("sim", "bandwidth", "delay", "_dst", "name",
                  "packets_delivered", "bytes_delivered", "up",
-                 "packets_lost")
+                 "packets_lost", "_dst_receive", "_sim_at")
 
     def __init__(
         self,
@@ -43,7 +43,12 @@ class Link:
         self.bandwidth = bandwidth
         #: One-way propagation delay in seconds.
         self.delay = delay
-        self.dst = dst
+        self._dst = dst
+        self._dst_receive = None if dst is None else dst.receive
+        # Delivery completions are the highest-volume timer class and are
+        # never cancelled individually, so they ride the engine's
+        # fire-and-forget lane (no Event object per packet).
+        self._sim_at = sim.at_ff
         self.name = name
         self.packets_delivered = 0
         self.bytes_delivered = 0
@@ -52,6 +57,16 @@ class Link:
         self.up = True
         self.packets_lost = 0
 
+    @property
+    def dst(self) -> Optional[Device]:
+        """The device at the far end of the wire."""
+        return self._dst
+
+    @dst.setter
+    def dst(self, device: Optional[Device]) -> None:
+        self._dst = device
+        self._dst_receive = None if device is None else device.receive
+
     def tx_time(self, size_bytes: int) -> float:
         """Serialization time of ``size_bytes`` on this link."""
         return size_bytes * 8.0 / self.bandwidth
@@ -59,14 +74,18 @@ class Link:
     def deliver(self, packet: Packet) -> None:
         """Start propagation: the remote device receives the packet after
         ``delay`` seconds.  Must be called when serialization completes."""
-        if self.dst is None:
+        receive = self._dst_receive
+        if receive is None:
             raise RuntimeError(f"{self.name}: deliver() on an unattached link")
         if not self.up:
             self.packets_lost += 1
+            # The wire is this packet's terminal consumer.
+            release(packet)
             return
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
-        self.sim.schedule(self.delay, self.dst.receive, packet)
+        sim = self.sim
+        self._sim_at(sim._now + self.delay, receive, packet)
 
     def set_down(self) -> None:
         """Fail the link: subsequent packets are lost in flight."""

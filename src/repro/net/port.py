@@ -23,21 +23,19 @@ while the packet still counts toward occupancy.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from ..ecn.base import Marker, NullMarker
 from ..scheduling.base import Scheduler
 from ..sim.engine import Simulator
+from .interfaces import DequeueListener, DropListener, EnqueueListener
 from .link import Link
-from .packet import Packet
+from .packet import Packet, release
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ecn.service_pool import BufferPool
 
 __all__ = ["Port"]
-
-#: Signature of per-departure listeners: (port, queue_index, packet).
-DequeueListener = Callable[["Port", int, Packet], None]
 
 
 class Port:
@@ -66,6 +64,22 @@ class Port:
         "dequeue_listeners",
         "enqueue_listeners",
         "drop_listeners",
+        # Hot-path method bindings, resolved once at construction: the
+        # datapath fires them hundreds of thousands of times per run and
+        # repeated attribute chains (self.scheduler.enqueue, …) would pay
+        # two lookups per call.  Scheduler/marker/link identities are
+        # fixed for the port's lifetime.
+        "_sched_enqueue",
+        "_sched_dequeue",
+        "_marker_on_enqueue",
+        "_marker_on_dequeue",
+        "_tx_time",
+        "_sim_at",
+        "_sim_at_ff",
+        # Reset generation for fire-and-forget completions (see
+        # _transmission_done_ff): bumped by reset() so in-flight
+        # completions scheduled before the reset are ignored.
+        "_tx_epoch",
     )
 
     def __init__(
@@ -101,8 +115,16 @@ class Port:
         #: Simulation time of the most recent transmission completion.
         self.last_departure = 0.0
         self.dequeue_listeners: List[DequeueListener] = []
-        self.enqueue_listeners: List[DequeueListener] = []
-        self.drop_listeners: List[DequeueListener] = []
+        self.enqueue_listeners: List[EnqueueListener] = []
+        self.drop_listeners: List[DropListener] = []
+        self._sched_enqueue = scheduler.enqueue
+        self._sched_dequeue = scheduler.dequeue
+        self._marker_on_enqueue = self.marker.on_enqueue
+        self._marker_on_dequeue = self.marker.on_dequeue
+        self._tx_time = link.tx_time
+        self._sim_at = sim.at
+        self._sim_at_ff = sim.at_ff
+        self._tx_epoch = 0
         self.marker.attach(self)
 
     # -- occupancy views (what markers read) -----------------------------
@@ -141,30 +163,32 @@ class Port:
 
         Returns False when the packet was dropped (buffer full).
         """
-        if (
-            self.buffer_packets is not None
-            and self._packet_count >= self.buffer_packets
-        ):
+        count = self._packet_count
+        if self.buffer_packets is not None and count >= self.buffer_packets:
             return self._drop(queue_index, packet)
-        if self.pool is not None and not self.pool.admits(self._packet_count):
+        pool = self.pool
+        if pool is not None and not pool.admits(count):
             # ``admits`` is a pure query; the pool's rejection statistic
             # is charged here, at the drop site, so speculative callers
             # (metrics probes, the auditor) cannot corrupt it.  A port
             # whose own buffer was already full never reaches this point
             # — buffer drops are not pool rejections.
-            self.pool.rejections += 1
+            pool.rejections += 1
             return self._drop(queue_index, packet)
-        self._packet_count += 1
-        self._byte_count += packet.size
+        size = packet.size
+        self._packet_count = count + 1
+        self._byte_count += size
         self._queue_packets[queue_index] += 1
-        self._queue_bytes[queue_index] += packet.size
-        if self.pool is not None:
-            self.pool.add(packet.size)
-        packet.enqueue_time = self.sim.now
-        self.scheduler.enqueue(queue_index, packet)
-        self.marker.on_enqueue(self, queue_index, packet)
-        for listener in self.enqueue_listeners:
-            listener(self, queue_index, packet)
+        self._queue_bytes[queue_index] += size
+        if pool is not None:
+            pool.add(size)
+        packet.enqueue_time = self.sim._now
+        self._sched_enqueue(queue_index, packet)
+        self._marker_on_enqueue(self, queue_index, packet)
+        listeners = self.enqueue_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self, queue_index, packet)
         if not self.busy:
             self._transmit_next()
         return True
@@ -172,44 +196,77 @@ class Port:
     def _drop(self, queue_index: int, packet: Packet) -> bool:
         self.drops += 1
         self.queue_drops[queue_index] += 1
-        for listener in self.drop_listeners:
-            listener(self, queue_index, packet)
+        listeners = self.drop_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self, queue_index, packet)
+        # The drop site is the packet's terminal consumer (listeners have
+        # observed it above; pinned packets are left untouched).
+        release(packet)
         return False
 
     def _transmit_next(self) -> None:
-        item = self.scheduler.dequeue()
+        item = self._sched_dequeue()
         if item is None:
             self.busy = False
             return
         queue_index, packet = item
         # Dequeue marking sees occupancy that still includes this packet.
-        self.marker.on_dequeue(self, queue_index, packet)
+        self._marker_on_dequeue(self, queue_index, packet)
         self.busy = True
-        tx_time = self.link.tx_time(packet.size)
-        self._tx_event = self.sim.schedule(
-            tx_time, self._transmission_done, queue_index, packet
+        sim = self.sim
+        if sim.auditor is None:
+            # Unaudited ports ride the engine's fire-and-forget lane: no
+            # Event object per transmission.  reset() cannot cancel such
+            # a completion, so it carries the current reset epoch and
+            # _transmission_done_ff discards stale generations.
+            self._sim_at_ff(
+                sim._now + self._tx_time(packet.size),
+                self._transmission_done_ff, queue_index, packet,
+                self._tx_epoch,
+            )
+            return
+        # With a FabricAuditor installed the completion must be a live,
+        # inspectable Event: the auditor's engine-hygiene and in-service
+        # cross-checks read port._tx_event.
+        self._tx_event = self._sim_at(
+            sim._now + self._tx_time(packet.size),
+            self._transmission_done, queue_index, packet,
         )
+
+    def _transmission_done_ff(self, queue_index: int, packet: Packet,
+                              epoch: int) -> None:
+        # Stale generation: the port was reset while this completion was
+        # in flight (the fire-and-forget lane has no cancel).
+        if epoch != self._tx_epoch:
+            return
+        sim = self.sim
+        profiler = sim.profiler
+        if profiler is not None:
+            profiler.count("tx")
+        size = packet.size
+        self._packet_count -= 1
+        self._byte_count -= size
+        self._queue_packets[queue_index] -= 1
+        self._queue_bytes[queue_index] -= size
+        pool = self.pool
+        if pool is not None:
+            pool.remove(size)
+        self.link.deliver(packet)
+        self.tx_packets += 1
+        self.tx_bytes += size
+        self.queue_tx_bytes[queue_index] += size
+        self.last_departure = sim._now
+        listeners = self.dequeue_listeners
+        if listeners:
+            for listener in listeners:
+                listener(self, queue_index, packet)
+        self._transmit_next()
 
     def _transmission_done(self, queue_index: int, packet: Packet) -> None:
         # The packet has left the buffer only now that it is on the wire.
         self._tx_event = None
-        profiler = self.sim.profiler
-        if profiler is not None:
-            profiler.count("tx")
-        self._packet_count -= 1
-        self._byte_count -= packet.size
-        self._queue_packets[queue_index] -= 1
-        self._queue_bytes[queue_index] -= packet.size
-        if self.pool is not None:
-            self.pool.remove(packet.size)
-        self.link.deliver(packet)
-        self.tx_packets += 1
-        self.tx_bytes += packet.size
-        self.queue_tx_bytes[queue_index] += packet.size
-        self.last_departure = self.sim.now
-        for listener in self.dequeue_listeners:
-            listener(self, queue_index, packet)
-        self._transmit_next()
+        self._transmission_done_ff(queue_index, packet, self._tx_epoch)
 
     # -- teardown ---------------------------------------------------------
 
@@ -232,6 +289,8 @@ class Port:
         if self._tx_event is not None:
             self._tx_event.cancel()
             self._tx_event = None
+        # Invalidate any fire-and-forget completion still in flight.
+        self._tx_epoch += 1
         self.busy = False
         if self.pool is not None and self._packet_count:
             self.pool.packet_count -= self._packet_count

@@ -48,7 +48,9 @@ class DwrrScheduler(Scheduler):
         return self.quantum[queue_index]
 
     def enqueue(self, queue_index: int, packet: Packet) -> None:
-        super().enqueue(queue_index, packet)
+        # Inlined base bookkeeping (hot path).
+        self._queues[queue_index].append(packet)
+        self._total_packets += 1
         if not self._is_active[queue_index]:
             self._is_active[queue_index] = True
             self._active.append(queue_index)
@@ -60,11 +62,13 @@ class DwrrScheduler(Scheduler):
             queue_index = self._active[0]
             if not self._visiting[queue_index]:
                 self._begin_visit(queue_index)
-            head = self._queues[queue_index][0]
+            queue = self._queues[queue_index]
+            head = queue[0]
             if head.size <= self._deficit[queue_index]:
-                packet = self._pop(queue_index)
+                packet = queue.popleft()
+                self._total_packets -= 1
                 self._deficit[queue_index] -= packet.size
-                if not self._queues[queue_index]:
+                if not queue:
                     self._retire(queue_index)
                 return queue_index, packet
             # Head does not fit this visit: carry the deficit to the next

@@ -26,14 +26,18 @@ class FifoScheduler(Scheduler):
         self._order: Deque[int] = deque()
 
     def enqueue(self, queue_index: int, packet: Packet) -> None:
-        super().enqueue(queue_index, packet)
+        # Inlined base bookkeeping: host NIC ports make this the most
+        # frequently called scheduler method in the fabric.
+        self._queues[queue_index].append(packet)
+        self._total_packets += 1
         self._order.append(queue_index)
 
     def dequeue(self) -> Optional[Tuple[int, Packet]]:
         if self._total_packets == 0:
             return None
         queue_index = self._order.popleft()
-        return queue_index, self._pop(queue_index)
+        self._total_packets -= 1
+        return queue_index, self._queues[queue_index].popleft()
 
     def clear(self) -> None:
         super().clear()

@@ -309,6 +309,10 @@ class FabricAuditor:
 
     def _on_enqueue(self, port: "Port", queue_index: int, packet) -> None:
         state = self._ports[port]
+        # Audited packets are exempt from pool recycling: the transit
+        # ledger cross-checks their fields between enqueue and dequeue,
+        # which a reused object would silently falsify.
+        packet.pinned = True
         state.enq_packets += 1
         state.enq_bytes += packet.size
         event = f"enqueue(queue={queue_index}, pkt={packet.uid})"
@@ -366,7 +370,7 @@ class FabricAuditor:
         self.checks += 1
         tx = port._tx_event
         in_service = 1 if (tx is not None and not tx.cancelled
-                           and tx.in_heap) else 0
+                           and tx.scheduled) else 0
         if port._packet_count != in_service:
             self._fail(
                 "scheduler-cleared-under-port", port.name,
@@ -412,12 +416,12 @@ class FabricAuditor:
         tx = port._tx_event
         in_service_queue = None
         if tx is not None:
-            if tx.cancelled or not tx.in_heap:
+            if tx.cancelled or not tx.scheduled:
                 self._fail(
                     "engine-hygiene", name,
-                    ("port._tx_event", "cancelled/off-heap"),
-                    ("expected", "live heap entry (reset the port after "
-                     "Simulator.clear)"), event)
+                    ("port._tx_event", "cancelled/unscheduled"),
+                    ("expected", "live heap or wheel entry (reset the "
+                     "port after Simulator.clear)"), event)
             else:
                 in_service_queue = tx.args[0]
         # Port-internal consistency: total vs per-queue sums.

@@ -14,7 +14,11 @@ A :class:`SimProfiler` attaches to one :class:`~repro.sim.engine.Simulator`
   how benchmarks assert the engine's heap compaction keeps
   ``pending_events`` bounded;
 - **events/sec** — executed events divided by wall-clock time between
-  :meth:`start` and :meth:`stop`.
+  :meth:`start` and :meth:`stop`;
+- **engine tier split and pool hit rate** — how many executed events
+  came from the timing-wheel vs. heap tier, and what fraction of packet
+  acquisitions the packet free-list pool served without allocating
+  (both deltas over the profiled span).
 
 The component hooks cost one attribute load and a None check per event
 when no profiler is attached, so profiling is safe to leave compiled in.
@@ -63,6 +67,12 @@ class SimProfiler:
         self._wall_elapsed = 0.0
         self._events_start = 0
         self._events_at_stop: Optional[int] = None
+        self._wheel_start = 0
+        self._wheel_at_stop: Optional[int] = None
+        self._heap_start = 0
+        self._heap_at_stop: Optional[int] = None
+        self._pool_start = (0, 0)
+        self._pool_at_stop: Optional[tuple] = None
         sim.profiler = self
 
     # -- counters (the hot-path entry point) ------------------------------
@@ -74,6 +84,11 @@ class SimProfiler:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @staticmethod
+    def _pool_counters() -> tuple:
+        from ..net.packet import POOL
+        return (POOL.allocated, POOL.reused)
+
     def start(self) -> None:
         """Begin wall-clock accounting and periodic heap sampling."""
         if self._wall_start is not None:
@@ -81,6 +96,12 @@ class SimProfiler:
         self._wall_start = _time.perf_counter()
         self._events_start = self.sim.events_processed
         self._events_at_stop = None
+        self._wheel_start = self.sim.wheel_events_processed
+        self._wheel_at_stop = None
+        self._heap_start = self.sim.heap_events_processed
+        self._heap_at_stop = None
+        self._pool_start = self._pool_counters()
+        self._pool_at_stop = None
         self._task.start()
 
     def stop(self) -> None:
@@ -90,6 +111,9 @@ class SimProfiler:
             self._wall_elapsed += _time.perf_counter() - self._wall_start
             self._wall_start = None
             self._events_at_stop = self.sim.events_processed
+            self._wheel_at_stop = self.sim.wheel_events_processed
+            self._heap_at_stop = self.sim.heap_events_processed
+            self._pool_at_stop = self._pool_counters()
 
     def detach(self) -> None:
         """Stop and disconnect from the simulator's hot-path hook."""
@@ -131,6 +155,35 @@ class SimProfiler:
         return self.events_executed / wall
 
     @property
+    def wheel_events_executed(self) -> int:
+        """Events executed out of the timing-wheel tier over the span."""
+        end = self._wheel_at_stop
+        if end is None:
+            end = self.sim.wheel_events_processed
+        return end - self._wheel_start
+
+    @property
+    def heap_events_executed(self) -> int:
+        """Events executed out of the heap tier over the span."""
+        end = self._heap_at_stop
+        if end is None:
+            end = self.sim.heap_events_processed
+        return end - self._heap_start
+
+    def pool_hit_rate(self) -> float:
+        """Fraction of packet acquisitions served from the free pool
+        over the profiled span (0.0 when no packet was acquired)."""
+        end = self._pool_at_stop
+        if end is None:
+            end = self._pool_counters()
+        allocated = end[0] - self._pool_start[0]
+        reused = end[1] - self._pool_start[1]
+        total = allocated + reused
+        if total == 0:
+            return 0.0
+        return reused / total
+
+    @property
     def max_pending_events(self) -> int:
         """Largest sampled heap size (0 when nothing was sampled)."""
         if not self.samples:
@@ -143,6 +196,16 @@ class SimProfiler:
         lines = ["simulation profile"]
         lines.append(f"  events executed : {self.events_executed}")
         lines.append(f"  events/sec      : {self.events_per_second():,.0f}")
+        executed = self.events_executed
+        if executed:
+            wheel = self.wheel_events_executed
+            heap = self.heap_events_executed
+            lines.append(
+                f"  tier split      : wheel {wheel} "
+                f"({100.0 * wheel / executed:.1f}%) / heap {heap} "
+                f"({100.0 * heap / executed:.1f}%)"
+            )
+        lines.append(f"  pool hit rate   : {100.0 * self.pool_hit_rate():.1f}%")
         lines.append(f"  heap compactions: {sim.compactions}")
         lines.append(f"  cancelled in heap: {sim.cancelled_pending}")
         if self.counters:

@@ -37,7 +37,7 @@ from typing import Callable, Optional
 
 from ..net.host import Host
 from ..net.packet import (ACK, ACK_BYTES, CNP, DATA, MTU_BYTES, NACK,
-                          Packet)
+                          Packet, POOL, make_data, release)
 from ..sim.engine import Simulator
 from ..sim.timers import Timer
 from .flow import Flow
@@ -124,11 +124,13 @@ class DcqcnReceiver:
             self.nacks_sent += 1
             self._send_control(NACK, packet)
         # seq < expected: duplicate from a rewind — silently dropped.
+        # This receiver is the data packet's terminal consumer.
+        release(packet)
 
     def _send_control(self, kind: int, trigger: Packet) -> None:
-        control = Packet(kind, self.flow.flow_id, self.flow.dst,
-                         self.flow.src, trigger.seq, ACK_BYTES,
-                         self.flow.service, ect=False)
+        control = POOL.acquire(kind, self.flow.flow_id, self.flow.dst,
+                               self.flow.src, trigger.seq, ACK_BYTES,
+                               self.flow.service, False)
         control.ack_seq = self.expected_seq
         self.host.send(control)
 
@@ -195,9 +197,9 @@ class DcqcnSender:
         if self.total_packets is not None and \
                 self.next_seq >= self.total_packets:
             return  # all sent; waiting for the final ACK (or a NACK)
-        packet = Packet(DATA, self.flow.flow_id, self.flow.src,
-                        self.flow.dst, self.next_seq, self.config.mss_bytes,
-                        self.flow.service, ect=True)
+        packet = make_data(self.flow.flow_id, self.flow.src,
+                           self.flow.dst, self.next_seq, self.config.mss_bytes,
+                           self.flow.service, ect=True)
         packet.sent_time = self.sim.now
         self.next_seq += 1
         self.packets_sent += 1
@@ -212,8 +214,12 @@ class DcqcnSender:
     # -- control-plane input -----------------------------------------------
 
     def on_ack(self, packet: Packet) -> None:
-        """Demux entry for all reverse-path packets (CNP/NACK/final ACK)."""
+        """Demux entry for all reverse-path packets (CNP/NACK/final ACK).
+
+        Terminal consumer: recycles the control packet on return.
+        """
         if self.completed:
+            release(packet)
             return
         if packet.kind == CNP:
             self._on_cnp()
@@ -229,6 +235,7 @@ class DcqcnSender:
             self.stop()
             if self.on_complete is not None:
                 self.on_complete(self.flow, self.fct, self)
+        release(packet)
 
     def _on_cnp(self) -> None:
         self.cnps_received += 1

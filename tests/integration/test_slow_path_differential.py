@@ -1,0 +1,114 @@
+"""Differential determinism: slow path vs. optimized datapath.
+
+The engine's fast path (timing-wheel tier, fire-and-forget scheduling,
+packet pooling) is a pure performance substitution — it must never
+change *what* a simulation computes, only how fast.  These tests run the
+same experiments twice, once with ``REPRO_SLOW_PATH=1`` and pooling
+disabled (the reference heap-only engine) and once on the optimized
+path, and require exact equality of the results — byte-identical JSON
+exports for the CLI figures, field-exact FCT rows for the sweep point —
+across schemes, schedulers, and with the fabric auditor attached.
+
+``REPRO_SLOW_PATH`` is read per :class:`~repro.sim.engine.Simulator`
+construction and pooling is a module-level switch, so both modes can be
+toggled in-process between runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.largescale import run_fct_point
+from repro.experiments.scale import TINY
+from repro.net.packet import POOL, set_pooling
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _restore_pooling():
+    baseline = POOL.enabled
+    yield
+    set_pooling(baseline)
+
+
+def _go_fast(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+    set_pooling(True)
+
+
+def _go_slow(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    set_pooling(False)
+
+
+def _fct_row(scheme: str, scheduler: str):
+    row = run_fct_point(scheme, scheduler, 0.5, TINY, seed=3)
+    return dataclasses.asdict(row)
+
+
+class TestFctSweepPoint:
+    """One sweep point per scheme x scheduler must match field-for-field."""
+
+    @pytest.mark.parametrize("scheme,scheduler", [
+        ("pmsb", "dwrr"),
+        ("pmsb", "wfq"),
+        ("pmsb-e", "dwrr"),
+        ("mq-ecn", "dwrr"),
+        ("tcn", "wfq"),
+    ])
+    def test_fast_and_slow_rows_identical(self, monkeypatch,
+                                          scheme, scheduler):
+        _go_fast(monkeypatch)
+        fast = _fct_row(scheme, scheduler)
+        _go_slow(monkeypatch)
+        slow = _fct_row(scheme, scheduler)
+        assert fast == slow
+
+    def test_modes_actually_differ_in_engine_tier(self, monkeypatch):
+        # Guard against the differential becoming vacuous: the fast run
+        # must exercise the wheel tier and the pool, the slow run neither.
+        from repro.sim.engine import Simulator
+        _go_fast(monkeypatch)
+        assert not Simulator()._slow
+        assert POOL.enabled
+        _go_slow(monkeypatch)
+        assert Simulator()._slow
+        assert not POOL.enabled
+
+
+class TestCliExports:
+    """fig3 / fig8 JSON exports must be byte-identical across modes."""
+
+    def _export(self, tmp_path, monkeypatch, name: str, argv, slow: bool):
+        path = tmp_path / name
+        if slow:
+            _go_slow(monkeypatch)
+        else:
+            _go_fast(monkeypatch)
+        assert main(argv + ["--json", str(path)]) == 0
+        return path.read_bytes()
+
+    def test_fig3_byte_identical(self, tmp_path, monkeypatch):
+        argv = ["fig3", "--duration", "0.006"]
+        fast = self._export(tmp_path, monkeypatch, "fast.json", argv, False)
+        slow = self._export(tmp_path, monkeypatch, "slow.json", argv, True)
+        assert fast == slow
+
+    def test_fig8_byte_identical(self, tmp_path, monkeypatch):
+        argv = ["fig8", "--duration", "0.006"]
+        fast = self._export(tmp_path, monkeypatch, "fast.json", argv, False)
+        slow = self._export(tmp_path, monkeypatch, "slow.json", argv, True)
+        assert fast == slow
+
+    def test_fig3_audited_byte_identical(self, tmp_path, monkeypatch):
+        # The auditor pins every packet it sees, which disables recycling
+        # for those packets on the fast path; the result must still match
+        # the reference engine exactly.
+        argv = ["fig3", "--duration", "0.006", "--audit"]
+        fast = self._export(tmp_path, monkeypatch, "fast.json", argv, False)
+        slow = self._export(tmp_path, monkeypatch, "slow.json", argv, True)
+        assert fast == slow

@@ -292,3 +292,214 @@ class TestEventFreeList:
             sim.schedule(0.01 * (index + 1), seen.append, 100 + index)
         sim.run()
         assert seen == list(range(200))
+
+
+class TestTwoTierEngine:
+    """The timing-wheel tier for short-horizon events (heap for the rest)."""
+
+    def test_short_horizon_rides_the_wheel(self, sim):
+        sim.schedule(1e-4, lambda: None)
+        assert sim.wheel_scheduled == 1
+        assert sim.heap_scheduled == 0
+        assert sim.wheel_pending == 1
+
+    def test_long_horizon_rides_the_heap(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert sim.wheel_scheduled == 0
+        assert sim.heap_scheduled == 1
+
+    def test_tier_counters_reconcile_with_events_processed(self, sim):
+        for index in range(50):
+            sim.schedule(1e-6 * index, lambda: None)   # wheel
+            sim.schedule(0.5 + 1e-3 * index, lambda: None)  # heap
+        sim.run()
+        assert sim.wheel_events_processed == 50
+        assert sim.heap_events_processed == 50
+        assert (sim.wheel_events_processed + sim.heap_events_processed
+                == sim.events_processed)
+
+    def test_cross_tier_ordering_is_global(self, sim):
+        order = []
+        sim.at(1.0, order.append, "heap-late")
+        sim.schedule(2e-3, order.append, "wheel")
+        sim.at(1e-3, order.append, "wheel-early")
+        # A heap event whose callback schedules into the wheel window:
+        # the nested event (0.999 + 5e-4) must preempt the 1.0 heap entry.
+        sim.at(0.999, lambda: sim.schedule(5e-4, order.append, "nested"))
+        sim.run()
+        assert order == ["wheel-early", "wheel", "nested", "heap-late"]
+
+    def test_scheduled_property_tracks_both_tiers(self, sim):
+        near = sim.schedule(1e-4, lambda: None)
+        far = sim.schedule(1.0, lambda: None)
+        assert near.scheduled and near.in_wheel and not near.in_heap
+        assert far.scheduled and far.in_heap and not far.in_wheel
+        sim.run()
+        assert not near.scheduled
+        assert not far.scheduled
+
+    def test_wheel_cancellation_counts_and_compacts(self, sim):
+        victims = [sim.schedule(1e-3, lambda: None) for _ in range(200)]
+        keepers = [sim.schedule(2e-3, lambda: None) for _ in range(10)]
+        before = sim.pending_events
+        for event in victims:
+            event.cancel()
+        # Dead wheel entries dominated: the engine compacted them away.
+        assert sim.pending_events < before
+        assert sim.pending_events >= len(keepers)
+        executed = sim.run()
+        assert executed == len(keepers)
+
+    def test_clear_drops_wheel_entries(self, sim):
+        event = sim.schedule(1e-3, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.wheel_pending == 0
+        assert not event.scheduled
+        event.cancel()  # must not corrupt accounting of the empty wheel
+        assert sim.cancelled_pending == 0
+
+    def test_run_until_stops_mid_wheel(self, sim):
+        fired = []
+        sim.schedule(1e-4, fired.append, "early")
+        sim.schedule(3e-3, fired.append, "late")
+        sim.run(until=1e-3)
+        assert fired == ["early"]
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order_across_tiers(self, sim):
+        order = []
+        # Same timestamp, scheduled alternately into wheel-window times.
+        for index in range(6):
+            sim.at(1e-3, order.append, index)
+        sim.run()
+        assert order == list(range(6))
+
+
+class TestSlowPath:
+    """REPRO_SLOW_PATH: the pre-wheel heap-only loop must stay available
+    and produce bit-identical firing order."""
+
+    def test_constructor_flag(self):
+        slow = Simulator(slow_path=True)
+        assert slow.slow_path
+        fast = Simulator(slow_path=False)
+        assert not fast.slow_path
+
+    def test_slow_path_routes_everything_to_the_heap(self):
+        slow = Simulator(slow_path=True)
+        slow.schedule(1e-6, lambda: None)
+        assert slow.heap_scheduled == 1
+        assert slow.wheel_scheduled == 0
+
+    def test_env_flag_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+        assert Simulator().slow_path
+        monkeypatch.setenv("REPRO_SLOW_PATH", "0")
+        assert not Simulator().slow_path
+        monkeypatch.delenv("REPRO_SLOW_PATH")
+        assert not Simulator().slow_path
+
+    def test_differential_firing_order(self):
+        """A mixed recursive workload fires identically on both paths."""
+
+        def exercise(sim):
+            order = []
+
+            def spawn(label, depth):
+                order.append((label, sim.now))
+                if depth:
+                    sim.schedule(1e-6 * (depth % 7), spawn,
+                                 f"{label}.a", depth - 1)
+                    sim.schedule(4.096e-3, spawn, f"{label}.b", 0)
+                    if depth % 3 == 0:
+                        victim = sim.schedule(1e-3, spawn, "never", 0)
+                        victim.cancel()
+
+            for index in range(8):
+                sim.schedule(1e-5 * index, spawn, f"root{index}", 4)
+            sim.at(0.5, order.append, ("far", 0.5))
+            sim.run()
+            return order, sim.events_processed
+
+        fast_order, fast_count = exercise(Simulator(slow_path=False))
+        slow_order, slow_count = exercise(Simulator(slow_path=True))
+        assert fast_order == slow_order
+        assert fast_count == slow_count
+
+
+class TestFireAndForget:
+    """at_ff: wheel entries with no Event object (uncancellable)."""
+
+    def test_fires_at_the_right_time(self, sim):
+        seen = []
+        sim.at_ff(1e-4, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1e-4]
+
+    def test_returns_nothing(self, sim):
+        assert sim.at_ff(1e-4, lambda: None) is None
+
+    def test_interleaves_deterministically_with_events(self, sim):
+        order = []
+        sim.at(1e-3, order.append, "event")
+        sim.at_ff(1e-3, order.append, "ff")     # same time, later seq
+        sim.at_ff(5e-4, order.append, "early-ff")
+        sim.run()
+        assert order == ["early-ff", "event", "ff"]
+
+    def test_counts_in_pending_and_processed(self, sim):
+        sim.at_ff(1e-4, lambda: None)
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.wheel_events_processed == 1
+
+    def test_far_future_falls_back_to_heap(self, sim):
+        sim.at_ff(1.0, lambda: None)
+        assert sim.heap_scheduled == 1
+        sim.run()
+        assert sim.heap_events_processed == 1
+
+    def test_past_raises(self, sim):
+        sim.schedule(1e-3, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at_ff(0.0, lambda: None)
+
+    def test_slow_path_degrades_to_plain_at(self):
+        slow = Simulator(slow_path=True)
+        seen = []
+        slow.at_ff(1e-4, seen.append, "x")
+        assert slow.heap_scheduled == 1
+        slow.run()
+        assert seen == ["x"]
+
+    def test_clear_drops_ff_entries(self, sim):
+        sim.at_ff(1e-4, lambda: None)
+        sim.at(2e-4, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.run() == 0
+
+    def test_survives_wheel_compaction(self, sim):
+        seen = []
+        sim.at_ff(1.5e-3, seen.append, "kept")
+        victims = [sim.schedule(1e-3, lambda: None) for _ in range(200)]
+        for event in victims:
+            event.cancel()
+        # Compaction ran (cancelled entries dominated); the ff entry and
+        # its accounting must survive intact.
+        sim.run()
+        assert seen == ["kept"]
+        assert sim.pending_events == 0
+
+    def test_until_boundary_preserves_ff_entries(self, sim):
+        seen = []
+        sim.at_ff(2e-3, seen.append, "late")
+        sim.run(until=1e-3)
+        assert seen == []
+        sim.run()
+        assert seen == ["late"]
