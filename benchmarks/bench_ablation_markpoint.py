@@ -10,8 +10,7 @@ at least not be hurt by) the earlier signal.
 from conftest import heading, run_once
 
 from repro.ecn.base import MarkPoint
-from repro.experiments.largescale import (N_SERVICES,
-                                          PORT_THRESHOLD_PACKETS,
+from repro.experiments.largescale import (PORT_THRESHOLD_PACKETS,
                                           run_fct_point)
 from repro.experiments.scale import BENCH
 from repro.metrics.fct import SizeClass
@@ -19,7 +18,6 @@ from repro.metrics.fct import SizeClass
 
 def test_markpoint_at_scale(benchmark):
     import repro.experiments.largescale as ls
-    from repro.experiments.scenario import make_scheme
 
     def point(mark_point):
         # Parameterize the scheme factory by mark point through the

@@ -1,0 +1,63 @@
+"""C-FIG3/C-FIG8 — victim protection and fair sharing under wire loss.
+
+The paper's fabrics are pristine; these chaos variants re-run the
+fig. 3 victim scenario and the fig. 8 fair-share scenario with a
+deterministic loss model (:mod:`repro.sim.faults`) on the bottleneck
+wire.  The printed tables show how per-port marking's collateral damage
+and PMSB's selective blindness each respond as real loss is added on
+top of congestion marking.
+"""
+
+from conftest import heading, run_once
+
+from repro.experiments.chaos import chaos_fair_share, chaos_victim
+from repro.experiments.scale import BENCH
+from repro.store import RunConfig
+
+LOSS_RATES = (0.0, 1e-3, 1e-2)
+
+
+def _config() -> RunConfig:
+    return RunConfig(duration=BENCH.static_duration)
+
+
+def test_chaos_victim_under_loss(benchmark):
+    def run():
+        return [
+            chaos_victim(scheme, loss_rate=rate, config=_config())
+            for scheme in ("per-port", "pmsb")
+            for rate in LOSS_RATES
+        ]
+
+    rows = run_once(benchmark, run)
+    heading("C-FIG3 — 1 vs 8 flows, iid loss on the bottleneck wire")
+    print(f"{'scheme':16s} {'loss':>8s} {'q1':>7s} {'q2':>7s} "
+          f"{'err':>6s} {'drops':>6s}")
+    for row in rows:
+        print(f"{row.scheme:16s} {row.loss_rate:8.4f} "
+              f"{row.queue1_gbps:6.2f}G {row.queue2_gbps:6.2f}G "
+              f"{row.fair_share_error:6.2f} {sum(row.drops.values()):6d}")
+    clean = {row.scheme: row for row in rows if row.loss_rate == 0.0}
+    # The clean points reproduce the paper: per-port starves the victim,
+    # PMSB protects it.
+    assert clean["Per-Port"].fair_share_error > 0.3
+    assert clean["PMSB"].fair_share_error < 0.1
+    # Loss actually happened on every lossy point.
+    assert all(sum(row.drops.values()) > 0
+               for row in rows if row.loss_rate > 0.0)
+
+
+def test_chaos_fair_share_under_loss(benchmark):
+    def run():
+        return [chaos_fair_share("pmsb", loss_rate=rate, config=_config())
+                for rate in LOSS_RATES]
+
+    rows = run_once(benchmark, run)
+    heading("C-FIG8 — PMSB DWRR 1:4 fair sharing vs bottleneck loss rate")
+    print(f"{'loss':>8s} {'q1':>7s} {'q2':>7s} {'err':>6s} {'drops':>6s}")
+    for row in rows:
+        print(f"{row.loss_rate:8.4f} {row.queue1_gbps:6.2f}G "
+              f"{row.queue2_gbps:6.2f}G {row.fair_share_error:6.2f} "
+              f"{sum(row.drops.values()):6d}")
+    assert rows[0].fair_share_error < 0.05
+    assert sum(rows[-1].drops.values()) > 0

@@ -14,7 +14,7 @@ import sys
 from collections import defaultdict
 
 from repro import (DctcpConfig, DwrrScheduler, FctCollector, PAPER_MIX,
-                   PmsbMarker, PoissonFlowGenerator, Simulator, SizeClass,
+                   PmsbMarker, PoissonFlowGenerator, Simulator,
                    leaf_spine, make_rng, open_flow, summarize)
 
 LINK_RATE = 10e9

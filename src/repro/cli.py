@@ -12,6 +12,9 @@
     python -m repro theorem
     python -m repro pool                  # §II-B service-pool conjecture
     python -m repro coexist               # §V-B incremental deployment
+    python -m repro chaos3 --loss-rates 0 0.001 0.01
+    python -m repro chaos-sweep --profile tiny --model gilbert-elliott
+    python -m repro fig3 --faults iid-loss:rate=0.001,links=bottleneck
 
 Every experiment command accepts the same execution flags —
 ``--json/--csv/--duration/--profile/--jobs/--audit`` — spelled
@@ -39,12 +42,14 @@ from dataclasses import asdict, replace
 from typing import Any, List, Optional
 
 from .core.capabilities import capability_table
-from .experiments import (ablations, analysis_validation, extensions,
+from .experiments import (ablations, analysis_validation, chaos, extensions,
                           largescale, marking_point, motivation,
                           static_flows)
 from .experiments.scale import BENCH, PAPER, TINY
 from .metrics.export import rows_to_csv, to_json
 from .metrics.fct import SizeClass
+from .sim.audit import set_audit_default
+from .sim.faults import FaultSpec, set_fault_default
 from .store import RunConfig, RunStore, diff_records
 
 __all__ = ["main"]
@@ -306,6 +311,76 @@ def cmd_transports(args) -> Any:
     return rows
 
 
+def _chaos_rates(args) -> List[float]:
+    return list(args.loss_rates) if args.loss_rates else list(
+        chaos.DEFAULT_LOSS_RATES)
+
+
+def _print_victim_rows(rows) -> None:
+    print(f"{'scheme':16s} {'loss':>8s} {'q1':>6s} {'q2':>6s} "
+          f"{'err':>5s} {'drops':>7s}")
+    for row in rows:
+        dropped = sum(row.drops.values())
+        print(f"{row.scheme:16s} {row.loss_rate:8.4f} "
+              f"{row.queue1_gbps:5.2f}G {row.queue2_gbps:5.2f}G "
+              f"{row.fair_share_error:5.2f} {dropped:7d}")
+
+
+def cmd_chaos3(args) -> Any:
+    print(f"1:8 victim scenario under {args.model} loss "
+          f"(bottleneck wire):")
+    config = RunConfig(duration=_duration(args))
+    rows = []
+    for scheme in ("per-port", "pmsb"):
+        for rate in _chaos_rates(args):
+            rows.append(chaos.chaos_victim(
+                scheme, loss_rate=rate, model=args.model, config=config))
+    _print_victim_rows(rows)
+    return rows
+
+
+def cmd_chaos8(args) -> Any:
+    print(f"PMSB DWRR 1:4 fair sharing under {args.model} loss:")
+    config = RunConfig(duration=_duration(args))
+    rows = [chaos.chaos_fair_share("pmsb", loss_rate=rate,
+                                   model=args.model, config=config)
+            for rate in _chaos_rates(args)]
+    _print_victim_rows(rows)
+    return rows
+
+
+def cmd_chaos_sweep(args) -> Any:
+    profile = _profile(args) or BENCH
+    if args.loads:
+        profile = replace(profile, loads=tuple(args.loads))
+    config = RunConfig(
+        profile=profile,
+        seed=args.seed,
+        jobs=args.jobs,
+        audit=True if args.audit else None,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+    rows = chaos.run_chaos_sweep(
+        scheme_names=tuple(args.schemes),
+        scheduler_name=args.scheduler,
+        loss_rates=tuple(_chaos_rates(args)),
+        model=args.model,
+        config=config,
+    )
+    print(f"{'scheme':16s} {'load':>5s} {'loss':>8s} {'overall':>9s} "
+          f"{'sm p99':>9s} {'drops':>8s}")
+    for row in rows:
+        def fmt(size_class, stat):
+            value = row.stat(size_class, stat)
+            return f"{value * 1e3:8.3f}m" if value is not None else "      --"
+        print(f"{row.fct.scheme:16s} {row.fct.load:5.1f} "
+              f"{row.loss_rate:8.4f} {fmt(None, 'mean')} "
+              f"{fmt(SizeClass.SMALL, 'p99')} "
+              f"{sum(row.drops.values()):8d}")
+    return rows
+
+
 def cmd_coexist(args) -> Any:
     config = RunConfig(duration=_duration(args))
     baseline = extensions.pmsbe_coexistence(False, config=config)
@@ -343,7 +418,14 @@ COMMANDS = {
     "burst": (cmd_burst, "E-BURST — micro-burst vs buffer policy"),
     "transports": (cmd_transports,
                    "E-TRANSPORT — PMSB across DCTCP and DCQCN"),
+    "chaos3": (cmd_chaos3, "C-FIG3 — victim scenario under wire loss"),
+    "chaos8": (cmd_chaos8, "C-FIG8 — PMSB fair sharing under wire loss"),
+    "chaos-sweep": (cmd_chaos_sweep,
+                    "C-SWEEP — FCT sweep across loss rates"),
 }
+
+#: Commands that understand the run-store cache flags.
+_STORE_BACKED = ("sweep", "chaos-sweep")
 
 
 # -- run-store maintenance commands ------------------------------------------
@@ -458,6 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the fabric invariant auditor "
                              "(cross-layer conservation checks; raises "
                              "on the first violation)")
+    common.add_argument("--faults", action="append", metavar="SPEC",
+                        help="inject a fault into every fabric the "
+                             "command builds; SPEC is "
+                             "model:key=val,key=val with models "
+                             "iid-loss / gilbert-elliott / crc-corrupt "
+                             "/ flap, e.g. "
+                             "'iid-loss:rate=0.001,links=leaf*->spine*' "
+                             "or 'flap:links=bottleneck,down=0.01,"
+                             "up=0.02' (repeatable)")
 
     store_dir = argparse.ArgumentParser(add_help=False)
     store_dir.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -472,16 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     for name, (_fn, help_text) in COMMANDS.items():
         cmd = sub.add_parser(name, help=help_text, parents=[common])
-        if name == "sweep":
+        if name in _STORE_BACKED:
             cmd.add_argument("--scheduler", choices=("dwrr", "wfq"),
                              default="dwrr")
             cmd.add_argument("--loads", type=float, nargs="+",
                              help="override the profile's load points")
             cmd.add_argument("--seed", type=int, default=1)
-            cmd.add_argument("--profile-events", action="store_true",
-                             help="print a per-run event/heap profile "
-                                  "(events/sec, category counters, heap "
-                                  "size over time)")
             cmd.add_argument("--cache-dir", default=None,
                              help="content-addressed run store: completed "
                                   "points are persisted here and skipped "
@@ -494,6 +581,26 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--force", action="store_true",
                              help="recompute cached points and overwrite "
                                   "their records")
+        if name == "sweep":
+            cmd.add_argument("--profile-events", action="store_true",
+                             help="print a per-run event/heap profile "
+                                  "(events/sec, category counters, heap "
+                                  "size over time)")
+        if name in ("chaos3", "chaos8", "chaos-sweep"):
+            cmd.add_argument("--model",
+                             choices=("iid-loss", "gilbert-elliott",
+                                      "crc-corrupt"),
+                             default="iid-loss",
+                             help="loss model to inject")
+            cmd.add_argument("--loss-rates", type=float, nargs="+",
+                             help="average per-packet loss rates "
+                                  f"(default: "
+                                  f"{' '.join(str(r) for r in chaos.DEFAULT_LOSS_RATES)})")
+        if name == "chaos-sweep":
+            cmd.add_argument("--schemes", nargs="+",
+                             default=list(chaos.CHAOS_SCHEMES),
+                             help="schemes to compare "
+                                  f"(default: {' '.join(chaos.CHAOS_SCHEMES)})")
 
     runs = sub.add_parser("runs",
                           help="inspect the content-addressed run store")
@@ -543,22 +650,31 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             return 0
         fn, _help = RUNS_COMMANDS[args.runs_command]
         return fn(args)
-    if args.command == "sweep":
+    if args.command in _STORE_BACKED:
         if (args.resume or args.force) and not args.cache_dir:
             parser.error("--resume/--force require --cache-dir")
     fn, _help = COMMANDS[args.command]
-    if getattr(args, "audit", False):
-        # Flip the process-wide default so every simulation the command
-        # builds — including ones created deep inside experiment helpers
-        # — attaches a FabricAuditor.
-        from .sim.audit import set_audit_default
+    try:
+        fault_specs = tuple(
+            FaultSpec.parse(text)
+            for text in (getattr(args, "faults", None) or ()))
+    except ValueError as exc:
+        parser.error(str(exc))
+    audit_on = getattr(args, "audit", False)
+    # Flip the process-wide defaults so every simulation the command
+    # builds — including ones created deep inside experiment helpers —
+    # attaches a FabricAuditor / injects the requested faults.
+    if audit_on:
         set_audit_default(True)
-        try:
-            payload = fn(args)
-        finally:
-            set_audit_default(False)
-    else:
+    if fault_specs:
+        set_fault_default(fault_specs)
+    try:
         payload = fn(args)
+    finally:
+        if audit_on:
+            set_audit_default(False)
+        if fault_specs:
+            set_fault_default(())
     if payload is not None:
         _maybe_export(args, payload)
     return 0

@@ -1,8 +1,9 @@
 """Experiment harness: one builder per paper figure/table (see DESIGN.md)."""
 
 from ..store import ExperimentSpec, RunConfig, RunRecord, RunStore
-from . import ablations, analysis_validation, extensions, largescale
+from . import ablations, analysis_validation, chaos, extensions, largescale
 from . import marking_point, motivation, runner, static_flows
+from .chaos import chaos_point_spec, run_chaos_sweep
 from .largescale import fct_point_spec
 from .runner import available_jobs, run_parallel, seed_for
 from .scale import BENCH, PAPER, ScaleProfile, TINY
@@ -24,6 +25,8 @@ __all__ = [
     "ablations",
     "analysis_validation",
     "available_jobs",
+    "chaos",
+    "chaos_point_spec",
     "extensions",
     "fct_point_spec",
     "incast_flows",
@@ -31,6 +34,7 @@ __all__ = [
     "make_scheme",
     "marking_point",
     "motivation",
+    "run_chaos_sweep",
     "run_incast",
     "run_parallel",
     "runner",

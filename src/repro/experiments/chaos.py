@@ -1,0 +1,327 @@
+"""Chaos experiments: PMSB's victim protection under faulty links.
+
+The paper evaluates every scheme on a pristine fabric.  These
+experiments re-ask its two headline questions with a deterministic
+fault layer (:mod:`repro.sim.faults`) injected into the wires:
+
+- **fig3 chaos variant** (:func:`chaos_victim`): the 1-vs-8 victim
+  scenario with the bottleneck wire losing or corrupting packets — does
+  per-port marking's collateral damage get better or worse when the
+  victim also suffers real loss, and does PMSB's selective blindness
+  still protect it?
+- **fig8 chaos variant** (:func:`chaos_fair_share`): PMSB's 1:4
+  weighted fair sharing under bottleneck loss.
+- **loss-rate sweep** (:func:`run_chaos_sweep`): the §VI-B FCT workload
+  for PMSB vs per-port vs per-queue across a grid of average loss
+  rates, store-backed exactly like the clean sweep — chaos points key
+  by their :class:`~repro.sim.faults.FaultSpec` set and cache/resume
+  byte-identically at any ``--jobs`` level.
+
+Determinism: faults draw from dedicated seeded streams, so every row
+here is a pure function of its spec — the same guarantees (and tests)
+as the clean experiments, loss included.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
+
+from ..scheduling.dwrr import DwrrScheduler
+from ..sim.faults import FaultSpec, loss_spec
+from ..store.runstore import RunStore, make_provenance
+from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
+                          resolve_run_config)
+from . import largescale
+from .largescale import FctRow, run_fct_point
+from .scale import BENCH, ScaleProfile
+from .scenario import incast_flows, make_scheme, run_incast
+
+__all__ = [
+    "CHAOS_EXPERIMENT",
+    "CHAOS_SCHEMES",
+    "DEFAULT_LOSS_RATES",
+    "ChaosFctRow",
+    "ChaosVictimRow",
+    "chaos_faults",
+    "chaos_fair_share",
+    "chaos_point_spec",
+    "chaos_victim",
+    "run_chaos_sweep",
+]
+
+#: Experiment family name in the run store.
+CHAOS_EXPERIMENT = "fct-chaos"
+
+#: The schemes the chaos sweep compares: PMSB against the two
+#: conventional markers whose failure modes motivated it.
+CHAOS_SCHEMES = ("pmsb", "per-port", "per-queue-standard")
+
+#: Default loss-rate grid (0 = the clean baseline point).
+DEFAULT_LOSS_RATES = (0.0, 1e-3, 1e-2)
+
+
+def chaos_faults(model: str, loss_rate: float, links: str = "*",
+                 salt: int = 0) -> Tuple[FaultSpec, ...]:
+    """The fault set for one chaos point: one loss model at the given
+    average rate over ``links``, or nothing at rate 0 (the baseline)."""
+    if loss_rate == 0.0:
+        return ()
+    return (loss_spec(model, loss_rate, links=links, salt=salt),)
+
+
+def _sorted_drops(drops: Mapping[str, Any]) -> Dict[str, int]:
+    """Key-sorted copy, so fresh and cache-loaded rows export the same
+    bytes (``to_json`` preserves dict insertion order)."""
+    return {str(key): int(drops[key]) for key in sorted(drops)}
+
+
+# -- static chaos variants (figs. 3 / 8 under loss) ---------------------------
+
+@dataclass
+class ChaosVictimRow:
+    """One (scheme, model, loss rate) victim/fair-share measurement."""
+
+    scheme: str
+    model: str
+    loss_rate: float
+    queue1_gbps: float
+    queue2_gbps: float
+    fair_share_error: float
+    #: Injected drops by reason over the faulted links.
+    drops: Dict[str, int]
+
+
+def _incast_under_loss(
+    scheme_name: str,
+    model: str,
+    loss_rate: float,
+    flows_queue2: int,
+    port_threshold: float,
+    link_rate: float,
+    fault_seed: int,
+    config: RunConfig,
+) -> ChaosVictimRow:
+    duration = config.duration if config.duration is not None else 0.04
+    scheme = make_scheme(
+        scheme_name, link_rate=link_rate, n_queues=2,
+        port_threshold_packets=port_threshold,
+    )
+    # The loss sits on the bottleneck wire — downstream of the marker,
+    # where a drop hurts exactly the flows the marker is judging.
+    result = run_incast(
+        scheme, lambda: DwrrScheduler(2), incast_flows([1, flows_queue2]),
+        link_rate=link_rate,
+        config=RunConfig(duration=duration, audit=config.audit),
+        faults=chaos_faults(model, loss_rate, links="bottleneck"),
+        fault_seed=fault_seed,
+    )
+    q1, q2 = result.queue_gbps[0], result.queue_gbps[1]
+    total = q1 + q2
+    fair = total / 2.0
+    error = abs(q1 - fair) / fair if total else 0.0
+    drops = (_sorted_drops(result.chaos.stats()["drops"])
+             if result.chaos is not None else {})
+    return ChaosVictimRow(
+        scheme=result.scheme, model=model, loss_rate=loss_rate,
+        queue1_gbps=q1, queue2_gbps=q2, fair_share_error=error,
+        drops=drops,
+    )
+
+
+def chaos_victim(
+    scheme_name: str = "per-port",
+    loss_rate: float = 1e-3,
+    model: str = "iid-loss",
+    flows_queue2: int = 8,
+    port_threshold: float = 16.0,
+    link_rate: float = 10e9,
+    fault_seed: int = 1,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+) -> ChaosVictimRow:
+    """Fig. 3's 1-vs-``flows_queue2`` victim scenario under wire loss.
+
+    Same fabric and parameters as
+    :func:`~repro.experiments.motivation.per_port_victim`, plus a loss
+    model on the bottleneck wire.  Compare ``scheme_name="per-port"``
+    against ``"pmsb"`` at matched loss rates to see whether selective
+    blindness still protects the victim queue when the fabric is lossy.
+    """
+    config = resolve_run_config(config, "chaos_victim",
+                                duration=duration, audit=audit)
+    return _incast_under_loss(scheme_name, model, loss_rate, flows_queue2,
+                              port_threshold, link_rate, fault_seed, config)
+
+
+def chaos_fair_share(
+    scheme_name: str = "pmsb",
+    loss_rate: float = 1e-3,
+    model: str = "iid-loss",
+    flows_queue2: int = 4,
+    port_threshold: float = 12.0,
+    link_rate: float = 10e9,
+    fault_seed: int = 1,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+) -> ChaosVictimRow:
+    """Fig. 8's 1:``flows_queue2`` fair-sharing scenario under loss —
+    PMSB's weighted fair shares should degrade gracefully, not
+    collapse, as the wire loss rate rises."""
+    config = resolve_run_config(config, "chaos_fair_share",
+                                duration=duration, audit=audit)
+    return _incast_under_loss(scheme_name, model, loss_rate, flows_queue2,
+                              port_threshold, link_rate, fault_seed, config)
+
+
+# -- the store-backed loss-rate sweep -----------------------------------------
+
+@dataclass
+class ChaosFctRow:
+    """One (scheme, scheduler, load, model, loss rate) FCT measurement."""
+
+    model: str
+    loss_rate: float
+    #: Injected drops by reason, summed over all faulted links.
+    drops: Dict[str, int]
+    fct: FctRow
+
+    def stat(self, size_class, name: str) -> Optional[float]:
+        """Delegate to :meth:`FctRow.stat` for printing/plotting."""
+        return self.fct.stat(size_class, name)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"model": self.model, "loss_rate": self.loss_rate,
+                "drops": dict(self.drops), "fct": self.fct.to_payload()}
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "ChaosFctRow":
+        return cls(
+            model=data["model"],
+            loss_rate=data["loss_rate"],
+            drops=_sorted_drops(data["drops"]),
+            fct=FctRow.from_payload(data["fct"]),
+        )
+
+
+def chaos_point_spec(
+    scheme_name: str,
+    scheduler_name: str,
+    load: float,
+    profile: ScaleProfile,
+    seed: int,
+    model: str,
+    loss_rate: float,
+    audit: bool = False,
+) -> ExperimentSpec:
+    """The canonical identity of one chaos FCT point (store cache key).
+
+    The full fault set is rendered into the params — alongside the
+    human-readable ``model``/``loss_rate`` knobs — so any change to how
+    :func:`chaos_faults` shapes a model re-keys the affected points.
+    """
+    faults = chaos_faults(model, loss_rate)
+    params: Dict[str, Any] = {
+        "topology": "leaf-spine",
+        "model": model,
+        "loss_rate": loss_rate,
+        "faults": tuple(spec.to_param() for spec in faults),
+    }
+    return ExperimentSpec.create(
+        CHAOS_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
+        load=load, seed=seed, profile=profile, audit=audit, params=params,
+    )
+
+
+def _chaos_worker(point) -> ChaosFctRow:
+    """Module-level (picklable) worker for one chaos sweep point.
+
+    Same cache contract as
+    :func:`~repro.experiments.largescale._sweep_worker`: store hits are
+    answered without simulating, fresh results persist atomically
+    before returning, and the crash hook
+    (:data:`~repro.experiments.largescale.CRASH_AFTER_ENV`) counts only
+    freshly computed points.
+    """
+    (scheme_name, scheduler_name, load, profile, seed, model, loss_rate,
+     audit, cache_dir, force) = point
+    store = RunStore(cache_dir) if cache_dir else None
+    spec = chaos_point_spec(scheme_name, scheduler_name, load, profile,
+                            seed, model, loss_rate, audit=audit)
+    if store is not None and not force:
+        record = store.get(spec)
+        if record is not None:
+            return ChaosFctRow.from_payload(record.result)
+    provenance_out: Dict[str, Any] = {}
+    fault_stats: Dict[str, Any] = {}
+    fct = run_fct_point(
+        scheme_name, scheduler_name, load, profile, seed,
+        config=RunConfig(audit=audit),
+        provenance_out=provenance_out,
+        faults=chaos_faults(model, loss_rate),
+        fault_stats_out=fault_stats,
+    )
+    row = ChaosFctRow(
+        model=model, loss_rate=loss_rate,
+        drops=_sorted_drops(fault_stats.get("drops", {})),
+        fct=fct,
+    )
+    if store is not None:
+        store.put(spec, row.to_payload(), make_provenance(
+            profile_name=profile.name,
+            elapsed_s=provenance_out.get("elapsed_s"),
+            engine=provenance_out.get("engine"),
+        ))
+        largescale._note_point_computed()
+    return row
+
+
+def run_chaos_sweep(
+    scheme_names: Sequence[str] = CHAOS_SCHEMES,
+    scheduler_name: str = "dwrr",
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    model: str = "iid-loss",
+    profile: Optional[ScaleProfile] = None,
+    seed: Optional[int] = None,
+    config: Optional[RunConfig] = None,
+    store: Optional[Union[RunStore, str]] = None,
+) -> List[ChaosFctRow]:
+    """The chaos matrix: every scheme × load × loss rate.
+
+    All schemes at a given (load, seed, loss rate) see the same flow
+    arrivals *and* the same per-link fault streams (streams key on
+    seed, salt and link name — not on the scheme), so comparisons are
+    paired under identical loss patterns.  Points fan out over worker
+    processes and cache/resume exactly like
+    :func:`~repro.experiments.largescale.run_fct_sweep`.
+    """
+    from .runner import run_parallel
+
+    config = resolve_run_config(config, "run_chaos_sweep")
+    if profile is None:
+        profile = config.profile if config.profile is not None else BENCH
+    if seed is None:
+        seed = config.seed if config.seed is not None else 1
+    jobs = config.jobs if config.jobs is not None else profile.jobs
+    if store is None and config.cache_dir:
+        store = config.cache_dir
+    cache_dir = (store.root if isinstance(store, RunStore)
+                 else os.fspath(store) if store else None)
+    force = config.force or not config.resume
+
+    largescale._points_computed = 0
+    from ..sim.audit import audit_enabled
+    audit = audit_enabled(config.audit)
+    points = [
+        (name, scheduler_name, load, profile, seed, model, loss_rate,
+         audit, cache_dir, force)
+        for loss_rate in loss_rates
+        for load in profile.loads
+        for name in scheme_names
+        if not (scheduler_name == "wfq" and name == "mq-ecn")
+    ]
+    return run_parallel(points, _chaos_worker, jobs=jobs)

@@ -30,6 +30,7 @@ from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.wfq import WfqScheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
+from ..sim.faults import FaultScheduler, FaultSpec, faults_enabled
 from ..sim.rng import make_rng
 from ..store.runstore import RunStore, make_provenance
 from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
@@ -171,16 +172,21 @@ def fct_point_spec(
     audit: bool = False,
     topology: str = "leaf-spine",
     fat_tree_k: int = 4,
+    faults: Sequence[FaultSpec] = (),
 ) -> ExperimentSpec:
     """The canonical identity of one §VI-B FCT point (store cache key).
 
-    Everything that determines the row's numbers is in here; execution
-    mechanics (worker count, profiler, cache location) deliberately are
-    not — see :class:`~repro.store.ExperimentSpec`.
+    Everything that determines the row's numbers is in here — including
+    any injected :class:`~repro.sim.faults.FaultSpec` set, rendered to
+    canonical tuples so chaos points key differently from clean ones;
+    execution mechanics (worker count, profiler, cache location)
+    deliberately are not — see :class:`~repro.store.ExperimentSpec`.
     """
     params: Dict[str, Any] = {"topology": topology}
     if topology == "fat-tree":
         params["fat_tree_k"] = fat_tree_k
+    if faults:
+        params["faults"] = tuple(spec.to_param() for spec in faults)
     return ExperimentSpec.create(
         "fct-point", scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -213,6 +219,8 @@ def run_fct_point(
     audit: Optional[bool] = UNSET,
     config: Optional[RunConfig] = None,
     provenance_out: Optional[Dict[str, Any]] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    fault_stats_out: Optional[Dict[str, Any]] = None,
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
@@ -229,7 +237,11 @@ def run_fct_point(
     fabric (None defers to the process default).  The ``audit=`` /
     ``profile_events=`` keyword spellings are deprecated aliases.
     ``provenance_out``, when given, is filled with wall time and engine
-    counters for run-store provenance.
+    counters for run-store provenance.  ``faults`` injects a chaos
+    layer (:mod:`repro.sim.faults`) over the fabric's links, seeded
+    from the point's ``seed`` (None defers to the process default the
+    CLI's ``--faults`` flag sets); ``fault_stats_out`` receives the
+    per-link drop breakdown afterwards.
     """
     config = resolve_run_config(config, "run_fct_point",
                                 profile_events=profile_events, audit=audit)
@@ -273,6 +285,11 @@ def run_fct_point(
         )
     if auditor is not None:
         auditor.attach_network(network)
+    fault_specs = faults_enabled(faults)
+    chaos = None
+    if fault_specs:
+        chaos = FaultScheduler(sim, fault_specs, seed=seed)
+        chaos.apply(network)
     if size_distribution is None:
         size_distribution = PAPER_MIX.scaled(profile.size_scale)
         size_scale = profile.size_scale
@@ -295,6 +312,8 @@ def run_fct_point(
         sim.run(until=min(sim.now + chunk, deadline))
     if auditor is not None:
         auditor.verify_fabric()
+    if chaos is not None and fault_stats_out is not None:
+        fault_stats_out.update(chaos.stats())
 
     if profiler is not None:
         profiler.stop()
@@ -373,10 +392,10 @@ def _sweep_worker(point) -> FctRow:
     stays consistent at any ``--jobs`` level.
     """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit, cache_dir, force) = point
+     audit, cache_dir, force, faults) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
-                          audit=audit)
+                          audit=audit, faults=faults)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -385,7 +404,7 @@ def _sweep_worker(point) -> FctRow:
     row = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
         config=RunConfig(profile_events=profile_events, audit=audit),
-        provenance_out=provenance_out,
+        provenance_out=provenance_out, faults=faults,
     )
     if store is not None:
         store.put(spec, row.to_payload(), make_provenance(
@@ -407,6 +426,7 @@ def run_fct_sweep(
     audit: Optional[bool] = UNSET,
     config: Optional[RunConfig] = None,
     store: Optional[Union[RunStore, str]] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
@@ -447,12 +467,14 @@ def run_fct_sweep(
 
     global _points_computed
     _points_computed = 0
-    # The audit choice is resolved here and shipped inside each point so
-    # worker processes need not share this process's audit default.
+    # The audit and fault choices are resolved here and shipped inside
+    # each point so worker processes need not share this process's
+    # defaults.
+    fault_specs = faults_enabled(faults)
     points = [
         (name, scheduler_name, load, profile, seed,
          config.profile_events, audit_enabled(config.audit),
-         cache_dir, force)
+         cache_dir, force, fault_specs)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

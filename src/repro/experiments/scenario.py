@@ -30,6 +30,7 @@ from ..net.topology import Network, single_bottleneck
 from ..scheduling.base import Scheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
+from ..sim.faults import FaultScheduler, FaultSpec, faults_enabled
 from ..store.spec import RunConfig, UNSET, resolve_run_config
 from ..transport.base import DctcpConfig
 from ..transport.endpoints import FlowHandle, open_flow
@@ -174,6 +175,9 @@ class IncastResult:
     meter: ThroughputMeter
     handles: List[FlowHandle]
     trace: Optional[QueueOccupancyTrace] = None
+    #: Present when the run injected faults; ``chaos.stats()`` has the
+    #: per-link drop breakdown.
+    chaos: Optional[FaultScheduler] = None
 
     @property
     def total_gbps(self) -> float:
@@ -204,6 +208,8 @@ def run_incast(
     buffer_packets: int = 1000,
     audit: Optional[bool] = UNSET,
     config: Optional[RunConfig] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    fault_seed: int = 0,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
@@ -216,6 +222,10 @@ def run_incast(
     a final conservation pass (None defers to the process default the
     CLI's ``--audit`` flag sets).  The ``duration=`` / ``audit=``
     keyword spellings are deprecated aliases for those fields.
+    ``faults`` injects a deterministic chaos layer
+    (:mod:`repro.sim.faults`) over the fabric, with RNG streams derived
+    from ``fault_seed`` (None defers to the ``--faults`` process
+    default).
     """
     config = resolve_run_config(config, "run_incast",
                                 duration=duration, audit=audit)
@@ -230,6 +240,11 @@ def run_incast(
     )
     if auditor is not None:
         auditor.attach_network(network)
+    fault_specs = faults_enabled(faults)
+    chaos = None
+    if fault_specs:
+        chaos = FaultScheduler(sim, fault_specs, seed=fault_seed)
+        chaos.apply(network)
     meter = ThroughputMeter(sim, bin_width=duration / 100.0)
     meter.attach_port(network.bottleneck_port)
     trace = QueueOccupancyTrace(network.bottleneck_port) if trace_occupancy else None
@@ -253,5 +268,5 @@ def run_incast(
     return IncastResult(
         scheme=scheme.name, duration=duration, warmup=warmup,
         queue_gbps=queue_gbps, network=network, meter=meter,
-        handles=handles, trace=trace,
+        handles=handles, trace=trace, chaos=chaos,
     )

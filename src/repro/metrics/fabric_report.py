@@ -8,8 +8,8 @@ debugging why a scenario underperforms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Dict, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.topology import Network
@@ -29,6 +29,11 @@ class PortReport:
     packets_marked: int
     mark_fraction: float
     occupancy_packets: int      # instantaneous, at report time
+    #: Packets the attached wire lost (downed link, injected loss,
+    #: corruption, killed in flight) — distinct from buffer ``drops``.
+    link_lost: int = 0
+    #: ``link_lost`` by reason (see :attr:`repro.net.link.Link.loss_breakdown`).
+    link_loss_breakdown: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,8 @@ class FabricReport:
     total_tx_bytes: int
     total_drops: int
     total_marked: int
+    #: Wire losses summed over every port's link (chaos runs).
+    total_link_lost: int = 0
 
     @property
     def busiest_ports(self) -> List[PortReport]:
@@ -53,10 +60,13 @@ class FabricReport:
 
     def render(self, top: int = 10) -> str:
         """Human-readable table of the busiest ports."""
+        lost = (f", {self.total_link_lost} wire losses"
+                if self.total_link_lost else "")
         lines = [
             f"fabric over {self.duration * 1e3:.1f} ms: "
             f"{self.total_tx_bytes / 1e6:.1f} MB transmitted, "
-            f"{self.total_drops} drops, {self.total_marked} CE marks",
+            f"{self.total_drops} drops, {self.total_marked} CE marks"
+            f"{lost}",
             f"{'port':28s} {'util':>6s} {'drops':>6s} {'marked':>7s} "
             f"{'mark%':>6s}",
         ]
@@ -88,6 +98,11 @@ def fabric_report(network: "Network", duration: float) -> FabricReport:
                     packets_marked=port.marker.packets_marked,
                     mark_fraction=port.marker.mark_fraction,
                     occupancy_packets=port.packet_count,
+                    link_lost=port.link.packets_lost,
+                    link_loss_breakdown={
+                        reason: count for reason, count in
+                        port.link.loss_breakdown.items() if count
+                    },
                 )
             )
     return FabricReport(
@@ -96,4 +111,5 @@ def fabric_report(network: "Network", duration: float) -> FabricReport:
         total_tx_bytes=sum(p.tx_bytes for p in ports),
         total_drops=sum(p.drops for p in ports),
         total_marked=sum(p.packets_marked for p in ports),
+        total_link_lost=sum(p.link_lost for p in ports),
     )

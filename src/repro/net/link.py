@@ -6,17 +6,33 @@ delay applied between the end of serialization and delivery at the remote
 device.  Queueing, scheduling and marking all live in
 :class:`repro.net.port.Port`; keeping the link dumb means every
 full-duplex cable is just two independent ``Link`` objects.
+
+The wire is also where faults live: a downed link (:meth:`Link.set_down`)
+discards everything including packets already propagating, and an
+installed loss model (``link.fault``, see :mod:`repro.sim.faults`)
+classifies each delivered packet as delivered, lost on the wire, or
+corrupted (discarded by the receiver after propagation).  Every drop is
+charged to exactly one reason counter and reported to the fabric
+auditor, so conservation invariants hold under loss.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..sim.engine import Simulator
+from ..sim.faults import DROP_CRC as _VERDICT_CRC
+from ..sim.faults import DROP_WIRE as _VERDICT_WIRE
 from .interfaces import Device
 from .packet import Packet, release
 
-__all__ = ["Link"]
+__all__ = ["Link", "DROP_DOWN", "DROP_WIRE", "DROP_CRC", "DROP_FLIGHT"]
+
+#: Drop reasons (the auditor's per-link ledger keys).
+DROP_DOWN = "down"      # handed to a link that was already down
+DROP_WIRE = "wire"      # lost by an installed loss model
+DROP_CRC = "crc"        # corrupted on the wire, discarded on arrival
+DROP_FLIGHT = "flight"  # in flight when the link went down
 
 
 class Link:
@@ -24,7 +40,9 @@ class Link:
 
     __slots__ = ("sim", "bandwidth", "delay", "_dst", "name",
                  "packets_delivered", "bytes_delivered", "up",
-                 "packets_lost", "_dst_receive", "_sim_at")
+                 "packets_lost", "_dst_receive", "_sim_at",
+                 "fault", "_epoch", "lost_down", "lost_wire",
+                 "lost_crc", "lost_flight")
 
     def __init__(
         self,
@@ -56,6 +74,18 @@ class Link:
         #: handed to it (a cable pull, not a graceful drain).
         self.up = True
         self.packets_lost = 0
+        #: Optional loss model (:mod:`repro.sim.faults`) consulted per
+        #: delivered packet.
+        self.fault = None
+        # Mirrors the Port.reset epoch guard: set_down() bumps the
+        # epoch, and a propagation completion carrying a stale epoch is
+        # a packet that was on the wire when the cable was pulled — it
+        # must never reach the destination.
+        self._epoch = 0
+        self.lost_down = 0
+        self.lost_wire = 0
+        self.lost_crc = 0
+        self.lost_flight = 0
 
     @property
     def dst(self) -> Optional[Device]:
@@ -67,9 +97,20 @@ class Link:
         self._dst = device
         self._dst_receive = None if device is None else device.receive
 
+    @property
+    def loss_breakdown(self) -> Dict[str, int]:
+        """Drops by reason; the values sum to :attr:`packets_lost`."""
+        return {DROP_DOWN: self.lost_down, DROP_WIRE: self.lost_wire,
+                DROP_CRC: self.lost_crc, DROP_FLIGHT: self.lost_flight}
+
     def tx_time(self, size_bytes: int) -> float:
         """Serialization time of ``size_bytes`` on this link."""
         return size_bytes * 8.0 / self.bandwidth
+
+    def _note_drop(self, packet: Packet, reason: str) -> None:
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.on_link_drop(self, packet, reason)
 
     def deliver(self, packet: Packet) -> None:
         """Start propagation: the remote device receives the packet after
@@ -79,17 +120,62 @@ class Link:
             raise RuntimeError(f"{self.name}: deliver() on an unattached link")
         if not self.up:
             self.packets_lost += 1
+            self.lost_down += 1
+            self._note_drop(packet, DROP_DOWN)
             # The wire is this packet's terminal consumer.
             release(packet)
             return
+        fault = self.fault
+        if fault is not None:
+            verdict = fault.classify()
+            if verdict == _VERDICT_WIRE:
+                self.packets_lost += 1
+                self.lost_wire += 1
+                self._note_drop(packet, DROP_WIRE)
+                release(packet)
+                return
+            if verdict == _VERDICT_CRC:
+                # Charged as lost now (the link never "delivered" it),
+                # but the object propagates and is discarded by the
+                # receiving port's CRC check on arrival.
+                self.packets_lost += 1
+                self.lost_crc += 1
+                self._note_drop(packet, DROP_CRC)
+                self._sim_at(self.sim._now + self.delay,
+                             self._arrive_corrupt, packet)
+                return
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
         sim = self.sim
-        self._sim_at(sim._now + self.delay, receive, packet)
+        self._sim_at(sim._now + self.delay, self._arrive, packet, self._epoch)
+
+    def _arrive(self, packet: Packet, epoch: int) -> None:
+        """Propagation completed.  A stale epoch means the link went
+        down while this packet was on the wire: roll back the delivery
+        accounting (keeping ``delivered + lost`` consistent with the
+        sender port's ``tx_packets``) and discard it."""
+        if epoch != self._epoch:
+            self.packets_delivered -= 1
+            self.bytes_delivered -= packet.size
+            self.packets_lost += 1
+            self.lost_flight += 1
+            self._note_drop(packet, DROP_FLIGHT)
+            release(packet)
+            return
+        self._dst_receive(packet)
+
+    def _arrive_corrupt(self, packet: Packet) -> None:
+        """A corrupted packet reached the far end; the receiving port
+        drops it on the CRC check.  Already counted lost at deliver
+        time — this is only the object's terminal consumer."""
+        release(packet)
 
     def set_down(self) -> None:
-        """Fail the link: subsequent packets are lost in flight."""
+        """Fail the link: subsequent packets are lost, and packets
+        already in flight never arrive (their delivery completions carry
+        the previous epoch and are discarded)."""
         self.up = False
+        self._epoch += 1
 
     def set_up(self) -> None:
         """Restore a failed link."""

@@ -2,13 +2,18 @@
 
 from .engine import Event, SimulationError, Simulator
 from .audit import FabricAuditor, InvariantViolation, audit_enabled, set_audit_default
+from .faults import (FAULT_MODELS, FaultScheduler, FaultSpec, faults_enabled,
+                     loss_spec, set_fault_default)
 from .profile import HeapSample, SimProfiler
 from .rng import make_rng, spawn, stable_hash
 from .timers import PeriodicTask, Timer
 
 __all__ = [
     "Event",
+    "FAULT_MODELS",
     "FabricAuditor",
+    "FaultScheduler",
+    "FaultSpec",
     "HeapSample",
     "InvariantViolation",
     "PeriodicTask",
@@ -17,8 +22,11 @@ __all__ = [
     "Simulator",
     "Timer",
     "audit_enabled",
+    "faults_enabled",
+    "loss_spec",
     "make_rng",
     "set_audit_default",
+    "set_fault_default",
     "spawn",
     "stable_hash",
 ]

@@ -17,6 +17,12 @@ Validators
   ``tx_packets``/``drops`` must match the listener counts.
 - **port ↔ link conservation**: every transmitted packet is either
   delivered or lost by the attached link.
+- **link drop accounting** (chaos runs): every packet a link loses —
+  downed wire, injected loss model, CRC corruption, killed in flight by
+  ``set_down`` — is reported through :meth:`FabricAuditor.on_link_drop`
+  with a reason, and the per-reason ledger must always sum to the
+  link's ``packets_lost`` delta, so no injected drop is ever double- or
+  un-counted.
 - **port ↔ scheduler occupancy**: ``Port._queue_packets[i]`` must equal
   the scheduler's actual queue depth plus the in-service packet (store-
   and-forward: the packet being serialized left the scheduler but still
@@ -137,7 +143,7 @@ class _PortAudit:
         "enq_packets", "enq_bytes", "tx_packets", "tx_bytes", "drops",
         "base_occ_packets", "base_occ_bytes", "base_tx_packets",
         "base_tx_bytes", "base_drops", "base_delivered", "base_lost",
-        "attach_delivered", "transit_ce",
+        "attach_delivered", "transit_ce", "link_drops",
     )
 
     def __init__(self, port: "Port"):
@@ -146,6 +152,9 @@ class _PortAudit:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.drops = 0
+        #: drop reason -> count, fed by ``FabricAuditor.on_link_drop``;
+        #: must always sum to the link's ``packets_lost`` delta.
+        self.link_drops: Dict[str, int] = {}
         self.rebaseline(port)
         #: Link deliveries at attach time.  Unlike ``base_delivered``
         #: this is never re-anchored by a port reset: the fabric-wide
@@ -168,6 +177,7 @@ class _PortAudit:
         self.base_drops = port.drops
         self.base_delivered = port.link.packets_delivered
         self.base_lost = port.link.packets_lost
+        self.link_drops.clear()
 
 
 class FabricAuditor:
@@ -188,6 +198,11 @@ class FabricAuditor:
         self.sim = sim
         sim.auditor = self
         self._ports: "Dict[Port, _PortAudit]" = {}
+        #: link -> owning audited port, for the drop-accounting channel.
+        self._link_ports: Dict[Any, "Port"] = {}
+        #: Drops reported by links no audited port owns (bare-link
+        #: tests); counted but not cross-checked.
+        self.unattached_link_drops = 0
         #: pool -> (packet residual, byte residual) at member attach time.
         self._pool_residuals: Dict[Any, Tuple[int, int]] = {}
         self._hosts: List[Any] = []
@@ -208,6 +223,7 @@ class FabricAuditor:
         if port in self._ports:
             return
         self._ports[port] = _PortAudit(port)
+        self._link_ports[port.link] = port
         port.enqueue_listeners.append(self._on_enqueue)
         port.dequeue_listeners.append(self._on_dequeue)
         port.drop_listeners.append(self._on_drop)
@@ -302,6 +318,7 @@ class FabricAuditor:
                     listeners.remove(hook)
             port.scheduler.clear_observer = None
         self._ports.clear()
+        self._link_ports.clear()
         if self.sim.auditor is self:
             self.sim.auditor = None
 
@@ -354,6 +371,31 @@ class FabricAuditor:
                        ("occupancy", port._packet_count),
                        ("buffer_packets", port.buffer_packets), event)
         self._check_port(port, state, event)
+
+    def on_link_drop(self, link, packet, reason: str) -> None:
+        """A link dropped ``packet`` for ``reason`` (chaos channel).
+
+        Called by :meth:`repro.net.link.Link.deliver` (downed wire,
+        loss-model drop, CRC corruption) and by its delivery completion
+        (in-flight kill after ``set_down``) right after the link's own
+        counters were charged.  The per-reason ledger must therefore
+        already agree with the cumulative ``packets_lost`` delta — a
+        disagreement means a drop was double- or un-counted.
+        """
+        port = self._link_ports.get(link)
+        if port is None:
+            self.unattached_link_drops += 1
+            return
+        state = self._ports[port]
+        state.link_drops[reason] = state.link_drops.get(reason, 0) + 1
+        self.checks += 1
+        lost = link.packets_lost - state.base_lost
+        ledger = sum(state.link_drops.values())
+        if ledger != lost:
+            self._fail("link-drop-ledger", link.name,
+                       ("drop reports by reason", ledger),
+                       ("link.packets_lost delta", lost),
+                       f"link_drop(reason={reason}, pkt={packet.uid})")
 
     def _on_scheduler_clear(self, port: "Port") -> None:
         """``Scheduler.clear`` fired — legal only via ``Port.reset``.
@@ -484,6 +526,12 @@ class FabricAuditor:
                        ("port.tx_packets delta",
                         port.tx_packets - state.base_tx_packets),
                        ("link delivered + lost", delivered + lost), event)
+        # Drop accounting: every loss has exactly one reported reason.
+        ledger = sum(state.link_drops.values())
+        if ledger != lost:
+            self._fail("link-drop-ledger", name,
+                       ("drop reports by reason", ledger),
+                       ("link.packets_lost delta", lost), event)
         # Pool debit/credit balance.
         if port.pool is not None:
             self._check_pool(port.pool, event)

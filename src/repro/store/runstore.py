@@ -24,7 +24,6 @@ import json
 import os
 import platform
 import subprocess
-import sys
 import tempfile
 import time
 from dataclasses import dataclass, field

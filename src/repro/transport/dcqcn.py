@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..net.host import Host
-from ..net.packet import (ACK, ACK_BYTES, CNP, DATA, MTU_BYTES, NACK,
+from ..net.packet import (ACK, ACK_BYTES, CNP, MTU_BYTES, NACK,
                           Packet, POOL, make_data, release)
 from ..sim.engine import Simulator
 from ..sim.timers import Timer

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..net.host import Host
-from ..net.packet import DATA, Packet, make_data, release
+from ..net.packet import Packet, make_data, release
 from ..sim.engine import Simulator
 from ..sim.timers import Timer
 from .base import DctcpConfig

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ecn.base import MarkPoint
 from repro.ecn.red import RedMarker
 from repro.net.link import Link
 from repro.net.packet import make_data

@@ -7,7 +7,7 @@ import pytest
 from repro.core.pmsb import PmsbMarker
 from repro.ecn.base import NullMarker
 from repro.net.link import Link
-from repro.net.packet import make_data
+from repro.net.packet import POOL, make_data, set_pooling
 from repro.net.topology import leaf_spine, single_bottleneck
 from repro.scheduling.dwrr import DwrrScheduler
 from repro.scheduling.fifo import FifoScheduler
@@ -17,6 +17,13 @@ from repro.transport.endpoints import open_flow
 from repro.transport.flow import Flow
 
 pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _restore_pooling():
+    baseline = POOL.enabled
+    yield
+    set_pooling(baseline)
 
 
 class Sink:
@@ -47,6 +54,59 @@ class TestLinkUpDown:
         link.deliver(make_data(1, 0, 1, 0))
         sim.run()
         assert len(sink.received) == 1
+
+
+class TestInFlightKill:
+    """set_down() must also kill packets already propagating — the
+    fast lane's fire-and-forget completions cannot be cancelled, so the
+    link guards them with an epoch (mirroring Port.reset)."""
+
+    @pytest.mark.parametrize("slow", [False, True])
+    def test_in_flight_packet_never_arrives(self, slow):
+        sim = Simulator(slow_path=True) if slow else Simulator()
+        sink = Sink()
+        link = Link(sim, 1e9, 1e-3, sink)
+        link.deliver(make_data(1, 0, 1, 0))  # arrives at t=1ms...
+        sim.at(0.5e-3, link.set_down)        # ...but the cable is pulled
+        sim.run()
+        assert sink.received == []
+        # The rollback keeps delivered + lost consistent with what the
+        # sender port transmitted.
+        assert link.packets_delivered == 0
+        assert link.bytes_delivered == 0
+        assert link.packets_lost == 1
+        assert link.lost_flight == 1
+
+    def test_restore_does_not_resurrect_in_flight(self, sim):
+        # Down *and back up* while propagating: the packet was on a dead
+        # wire and must still be discarded.
+        sink = Sink()
+        link = Link(sim, 1e9, 1e-3, sink)
+        link.deliver(make_data(1, 0, 1, 0))
+        sim.at(0.4e-3, link.set_down)
+        sim.at(0.6e-3, link.set_up)
+        sim.run()
+        assert sink.received == []
+        assert link.lost_flight == 1
+        # The restored link carries fresh traffic normally.
+        link.deliver(make_data(1, 0, 1, 1))
+        sim.run()
+        assert [p.seq for p in sink.received] == [1]
+        assert link.packets_delivered == 1
+
+    def test_killed_packet_released_to_pool_exactly_once(self, sim):
+        set_pooling(True)
+        POOL.free.clear()
+        released_before = POOL.released
+        sink = Sink()
+        link = Link(sim, 1e9, 1e-3, sink)
+        packet = make_data(1, 0, 1, 0)
+        link.deliver(packet)
+        sim.at(0.5e-3, link.set_down)
+        sim.run()
+        assert POOL.released == released_before + 1
+        assert packet.pooled
+        assert POOL.free.count(packet) == 1
 
 
 class TestTransportSurvivesFlap:

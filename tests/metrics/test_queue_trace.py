@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.metrics.queue_trace import QueueOccupancyTrace
 from repro.net.link import Link
 from repro.net.packet import make_data

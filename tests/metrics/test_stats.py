@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.metrics.stats import SummaryStats, percentile, summarize
+from repro.metrics.stats import percentile, summarize
 
 
 class TestPercentile:

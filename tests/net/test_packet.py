@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.net.packet import (ACK, ACK_BYTES, DATA, MTU_BYTES, Packet,
+from repro.net.packet import (ACK, ACK_BYTES, DATA, MTU_BYTES,
                               make_ack, make_data)
 
 

@@ -8,7 +8,7 @@ from repro.ecn.per_port import PerPortMarker
 from repro.net.link import Link
 from repro.net.packet import make_data
 from repro.net.port import Port
-from repro.net.tracing import DEQUEUE, DROP, ENQUEUE, PacketTrace
+from repro.net.tracing import DEQUEUE, ENQUEUE, PacketTrace
 from repro.scheduling.fifo import FifoScheduler
 
 

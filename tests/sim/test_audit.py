@@ -22,7 +22,6 @@ from repro.sim.audit import (
     audit_enabled,
     set_audit_default,
 )
-from repro.sim.engine import Simulator
 
 
 class Sink:
