@@ -43,11 +43,12 @@ from typing import Any, List, Optional
 
 from .core.capabilities import capability_table
 from .experiments import (ablations, analysis_validation, chaos, extensions,
-                          largescale, marking_point, motivation,
+                          largescale, marking_point, motivation, sharedbuf,
                           static_flows)
 from .experiments.scale import BENCH, PAPER, TINY
 from .metrics.export import rows_to_csv, to_json
 from .metrics.fct import SizeClass
+from .net.sharedbuf import SharedBufferSpec, set_shared_buffer_default
 from .sim.audit import set_audit_default
 from .sim.faults import FaultSpec, set_fault_default
 from .store import RunConfig, RunStore, diff_records
@@ -381,6 +382,41 @@ def cmd_chaos_sweep(args) -> Any:
     return rows
 
 
+def cmd_sharedbuf(args) -> Any:
+    profile = _profile(args) or BENCH
+    config = RunConfig(
+        profile=profile,
+        seed=args.seed,
+        jobs=args.jobs,
+        audit=True if args.audit else None,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+    policies = sharedbuf.default_policies(
+        capacity=args.capacity,
+        alphas=tuple(args.alphas),
+        target_delays=tuple(args.target_delays),
+    )
+    rows = sharedbuf.run_sharedbuf_sweep(
+        scheme_names=tuple(args.schemes),
+        scheduler_name=args.scheduler,
+        policies=policies,
+        config=config,
+    )
+    print(f"{'scheme':16s} {'policy':7s} {'knob':>8s} {'victim':>7s} "
+          f"{'hogs':>7s} {'err':>6s} {'bdrops':>6s} {'bloss':>6s} "
+          f"{'peak':>5s}")
+    for row in rows:
+        knob = (f"a={row.alpha:g}" if row.policy == "dt"
+                else f"{row.target_delay * 1e6:.0f}us"
+                if row.policy == "bshare" else "--")
+        print(f"{row.scheme:16s} {row.policy:7s} {knob:>8s} "
+              f"{row.victim_gbps:6.2f}G {row.hogs_gbps:6.2f}G "
+              f"{row.victim_err:6.3f} {row.burst_drops:6d} "
+              f"{row.burst_loss_fraction:6.3f} {row.pool_peak:5d}")
+    return rows
+
+
 def cmd_coexist(args) -> Any:
     config = RunConfig(duration=_duration(args))
     baseline = extensions.pmsbe_coexistence(False, config=config)
@@ -422,10 +458,12 @@ COMMANDS = {
     "chaos8": (cmd_chaos8, "C-FIG8 — PMSB fair sharing under wire loss"),
     "chaos-sweep": (cmd_chaos_sweep,
                     "C-SWEEP — FCT sweep across loss rates"),
+    "sharedbuf": (cmd_sharedbuf,
+                  "X-SHAREDBUF — buffer-contention sweep (DT + BShare)"),
 }
 
 #: Commands that understand the run-store cache flags.
-_STORE_BACKED = ("sweep", "chaos-sweep")
+_STORE_BACKED = ("sweep", "chaos-sweep", "sharedbuf")
 
 
 # -- run-store maintenance commands ------------------------------------------
@@ -540,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the fabric invariant auditor "
                              "(cross-layer conservation checks; raises "
                              "on the first violation)")
+    common.add_argument("--shared-buffer", metavar="SPEC", default=None,
+                        help="give every switch the command builds a "
+                             "shared memory all its ports draw from; "
+                             "SPEC is policy:key=val,key=val with "
+                             "policies complete / static / dt / bshare, "
+                             "e.g. 'dt:capacity=200,alpha=2' or "
+                             "'bshare:capacity=128,target_delay=100e-6'")
     common.add_argument("--faults", action="append", metavar="SPEC",
                         help="inject a fault into every fabric the "
                              "command builds; SPEC is "
@@ -601,6 +646,26 @@ def build_parser() -> argparse.ArgumentParser:
                              default=list(chaos.CHAOS_SCHEMES),
                              help="schemes to compare "
                                   f"(default: {' '.join(chaos.CHAOS_SCHEMES)})")
+        if name == "sharedbuf":
+            cmd.add_argument("--schemes", nargs="+",
+                             default=list(sharedbuf.SHAREDBUF_SCHEMES),
+                             help="marking schemes to compare "
+                                  f"(default: "
+                                  f"{' '.join(sharedbuf.SHAREDBUF_SCHEMES)})")
+            cmd.add_argument("--capacity", type=int,
+                             default=sharedbuf.DEFAULT_CAPACITY,
+                             help="switch-wide shared memory in packets "
+                                  f"(default: {sharedbuf.DEFAULT_CAPACITY})")
+            cmd.add_argument("--alphas", type=float, nargs="+",
+                             default=list(sharedbuf.DEFAULT_ALPHAS),
+                             help="dynamic-threshold alpha grid "
+                                  f"(default: "
+                                  f"{' '.join(str(a) for a in sharedbuf.DEFAULT_ALPHAS)})")
+            cmd.add_argument("--target-delays", type=float, nargs="+",
+                             default=list(sharedbuf.DEFAULT_TARGET_DELAYS),
+                             help="BShare queueing-delay targets in "
+                                  "seconds (default: "
+                                  f"{' '.join(str(d) for d in sharedbuf.DEFAULT_TARGET_DELAYS)})")
 
     runs = sub.add_parser("runs",
                           help="inspect the content-addressed run store")
@@ -658,16 +723,21 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         fault_specs = tuple(
             FaultSpec.parse(text)
             for text in (getattr(args, "faults", None) or ()))
+        sb_text = getattr(args, "shared_buffer", None)
+        sb_spec = SharedBufferSpec.parse(sb_text) if sb_text else None
     except ValueError as exc:
         parser.error(str(exc))
     audit_on = getattr(args, "audit", False)
     # Flip the process-wide defaults so every simulation the command
     # builds — including ones created deep inside experiment helpers —
-    # attaches a FabricAuditor / injects the requested faults.
+    # attaches a FabricAuditor / injects the requested faults / draws
+    # every switch's ports from a shared buffer.
     if audit_on:
         set_audit_default(True)
     if fault_specs:
         set_fault_default(fault_specs)
+    if sb_spec is not None:
+        set_shared_buffer_default(sb_spec)
     try:
         payload = fn(args)
     finally:
@@ -675,6 +745,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             set_audit_default(False)
         if fault_specs:
             set_fault_default(())
+        if sb_spec is not None:
+            set_shared_buffer_default(None)
     if payload is not None:
         _maybe_export(args, payload)
     return 0

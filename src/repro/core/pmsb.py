@@ -62,14 +62,34 @@ class PmsbMarker(Marker):
         self.blindness_scale = float(blindness_scale)
         self.average_weight = average_weight
         self._avg_port = 0.0
+        # Cached sum of the attached port's scheduler weights: Eq. 6
+        # needs it for every marking decision and the weight vector is
+        # fixed for the port's lifetime, so it is computed once at
+        # attach (and refreshed on reset) instead of per packet.
+        self._weight_sum = None
         #: Count of packets that qualified per-port marking but were
         #: spared by selective blindness — the protected victims.
         self.victims_protected = 0
+
+    def attach(self, port: "Port") -> None:
+        super().attach(port)
+        self._weight_sum = self._compute_weight_sum(port)
 
     def on_reset(self, port: "Port") -> None:
         # §IV-C averaged-occupancy variant: the port EWMA tracks the
         # discarded buffer contents, so it restarts from empty.
         self._avg_port = 0.0
+        self._weight_sum = self._compute_weight_sum(port)
+
+    @staticmethod
+    def _compute_weight_sum(port: "Port") -> float:
+        weight_sum = sum(port.weights)
+        if weight_sum <= 0:
+            raise ValueError(
+                f"PMSB needs a positive scheduler weight sum on "
+                f"{port.name}, got {weight_sum!r}: Eq. 6 divides the "
+                f"port threshold by it")
+        return weight_sum
 
     def port_occupancy(self, port: "Port") -> float:
         """The occupancy compared against the port threshold
@@ -83,8 +103,10 @@ class PmsbMarker(Marker):
 
     def queue_threshold(self, port: "Port", queue_index: int) -> float:
         """``queue_threshold_i`` of Eq. 6 (packets), scaled for ablations."""
-        weights = port.weights
-        share = weights[queue_index] / sum(weights)
+        weight_sum = self._weight_sum
+        if weight_sum is None:  # direct call before any attach
+            weight_sum = self._compute_weight_sum(port)
+        share = port.weights[queue_index] / weight_sum
         return share * self.port_threshold_packets * self.blindness_scale
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:

@@ -63,10 +63,22 @@ class BufferPool:
         self.byte_count += nbytes
 
     def remove(self, nbytes: int) -> None:
-        self.packet_count -= 1
+        self.credit(1, nbytes)
+
+    def credit(self, packets: int, nbytes: int) -> None:
+        """Return ``packets``/``nbytes`` to the pool in one step.
+
+        The per-packet transmission path lands here via :meth:`remove`;
+        bulk callers (:meth:`repro.net.port.Port.reset` returning a whole
+        buffer at once) call it directly.  Routing every credit through
+        one method keeps the negative-accounting guard — and any policy
+        subclass bookkeeping — impossible to bypass.
+        """
+        self.packet_count -= packets
         self.byte_count -= nbytes
-        if self.packet_count < 0:  # pragma: no cover - accounting guard
-            raise RuntimeError(f"{self.name}: pool accounting went negative")
+        if self.packet_count < 0 or self.byte_count < 0:
+            raise RuntimeError(f"{self.name}: pool accounting went negative "
+                               f"({self.packet_count}pkts/{self.byte_count}B)")
 
 
 class DynamicThresholdPool(BufferPool):

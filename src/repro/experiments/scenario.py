@@ -26,6 +26,7 @@ from ..ecn.tcn import TcnMarker
 from ..metrics.queue_trace import QueueOccupancyTrace
 from ..metrics.throughput import ThroughputMeter
 from ..net.packet import MTU_BYTES
+from ..net.sharedbuf import SharedBufferSpec
 from ..net.topology import Network, single_bottleneck
 from ..scheduling.base import Scheduler
 from ..sim.audit import FabricAuditor, audit_enabled
@@ -210,6 +211,7 @@ def run_incast(
     config: Optional[RunConfig] = None,
     faults: Optional[Sequence[FaultSpec]] = None,
     fault_seed: int = 0,
+    shared_buffer: Optional[SharedBufferSpec] = None,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
@@ -225,7 +227,9 @@ def run_incast(
     ``faults`` injects a deterministic chaos layer
     (:mod:`repro.sim.faults`) over the fabric, with RNG streams derived
     from ``fault_seed`` (None defers to the ``--faults`` process
-    default).
+    default).  ``shared_buffer`` gives the switch a
+    :class:`~repro.net.sharedbuf.SharedBuffer` built from the spec (None
+    defers to the ``--shared-buffer`` process default).
     """
     config = resolve_run_config(config, "run_incast",
                                 duration=duration, audit=audit)
@@ -237,6 +241,7 @@ def run_incast(
     network = single_bottleneck(
         sim, n_senders, scheduler_factory, scheme.marker_factory,
         link_rate=link_rate, buffer_packets=buffer_packets,
+        shared_buffer=shared_buffer,
     )
     if auditor is not None:
         auditor.attach_network(network)

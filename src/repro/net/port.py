@@ -112,8 +112,12 @@ class Port:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.queue_tx_bytes = [0] * scheduler.n_queues
-        #: Simulation time of the most recent transmission completion.
-        self.last_departure = 0.0
+        #: Simulation time of the most recent transmission completion,
+        #: anchored at construction time: a port built mid-run has not
+        #: been idle since t=0, and idle-detecting markers (MQ-ECN's
+        #: T_round reset) must not treat "never transmitted" as "long
+        #: idle" on the first packet.
+        self.last_departure = sim._now
         self.dequeue_listeners: List[DequeueListener] = []
         self.enqueue_listeners: List[EnqueueListener] = []
         self.drop_listeners: List[DropListener] = []
@@ -293,8 +297,11 @@ class Port:
         self._tx_epoch += 1
         self.busy = False
         if self.pool is not None and self._packet_count:
-            self.pool.packet_count -= self._packet_count
-            self.pool.byte_count -= self._byte_count
+            # Through the pool's credit API — never by mutating its
+            # counters directly — so the negative-accounting guard and
+            # any policy bookkeeping (shared-buffer per-port accounts)
+            # see the bulk return like any other credit.
+            self.pool.credit(self._packet_count, self._byte_count)
         # Occupancy counters are zeroed before the scheduler drops its
         # packets so observers of ``scheduler.clear`` (the auditor) never
         # see the port counting packets the scheduler already discarded.

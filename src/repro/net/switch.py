@@ -35,7 +35,7 @@ class Switch:
     """An output-queued multi-port switch."""
 
     __slots__ = ("sim", "name", "ports", "routes", "classifier", "ecmp_salt",
-                 "forwarded", "_ecmp_cache")
+                 "forwarded", "_ecmp_cache", "shared_buffer")
 
     def __init__(
         self,
@@ -54,6 +54,11 @@ class Switch:
         #: independently (as real switches' hash seeds do).
         self.ecmp_salt = ecmp_salt
         self.forwarded = 0
+        #: The switch-wide :class:`~repro.net.sharedbuf.SharedBuffer`
+        #: this chip's ports draw from, set by the topology builders
+        #: when a shared-buffer spec is in effect (None = private
+        #: per-port buffers only).
+        self.shared_buffer = None
         #: (flow_id, dst) -> chosen port index.  The hash is pure, so
         #: memoizing it keeps the per-packet hot path to one dict lookup.
         self._ecmp_cache: Dict[tuple, int] = {}

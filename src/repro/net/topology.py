@@ -24,6 +24,7 @@ from ..sim.engine import Simulator
 from .host import Host
 from .link import Link
 from .port import Port
+from .sharedbuf import SharedBufferSpec, shared_buffer_enabled
 from .switch import Switch
 
 __all__ = ["Network", "single_bottleneck", "leaf_spine", "fat_tree"]
@@ -64,7 +65,7 @@ class Network:
 
 
 def _plain_port(sim: Simulator, link: Link, name: str,
-                buffer_packets: Optional[int] = None) -> Port:
+                buffer_packets: Optional[int] = None, pool=None) -> Port:
     """A FIFO, non-marking port (host NICs and reverse paths).
 
     Unbounded by default: a host's transmit path backpressures the stack
@@ -73,7 +74,29 @@ def _plain_port(sim: Simulator, link: Link, name: str,
     dropping its own retransmission at the local NIC.
     """
     return Port(sim, link, FifoScheduler(1), NullMarker(),
-                buffer_packets=buffer_packets, name=name)
+                buffer_packets=buffer_packets, name=name, pool=pool)
+
+
+def _switch_buffer(switch: Switch, spec: Optional[SharedBufferSpec]):
+    """Give ``switch`` its shared memory when a spec is in effect.
+
+    Every switch gets its *own* :class:`~repro.net.sharedbuf.SharedBuffer`
+    (buffer memory is per chip, not per fabric); with no spec the builder
+    behaves exactly as before — ports keep private buffers and
+    ``pool=None``, so disabled runs are byte-identical to the
+    pre-shared-buffer datapath.
+    """
+    if spec is None:
+        return None
+    switch.shared_buffer = spec.build(name=f"{switch.name}:sharedbuf")
+    return switch.shared_buffer
+
+
+def _account(buf, name: str, link: Link):
+    """Per-port ledger against the switch buffer (None when disabled)."""
+    if buf is None:
+        return None
+    return buf.port_account(name, link)
 
 
 def single_bottleneck(
@@ -84,12 +107,18 @@ def single_bottleneck(
     link_rate: float = 10e9,
     link_delay: float = DEFAULT_LINK_DELAY,
     buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    shared_buffer: Optional[SharedBufferSpec] = None,
 ) -> Network:
     """Build an incast fabric: ``n_senders`` hosts → switch → 1 receiver.
 
     Host ids ``0 .. n_senders-1`` are the senders; id ``n_senders`` is the
     receiver.  ``network.bottleneck_port`` is the switch port feeding the
     receiver — the only multi-queue, marking port in the fabric.
+
+    ``shared_buffer`` (resolving against the process default, like the
+    runners' ``audit`` flag) gives the switch one shared memory all its
+    ports draw from; host NICs stay private — they model host transmit
+    queues, not switch buffer.
     """
     network = Network(sim)
     switch = Switch(sim, name="sw0")
@@ -97,12 +126,14 @@ def single_bottleneck(
     hosts = [Host(sim, i) for i in range(n_senders + 1)]
     network.hosts = hosts
     receiver = hosts[n_senders]
+    buf = _switch_buffer(switch, shared_buffer_enabled(shared_buffer))
 
     # Bottleneck port: switch -> receiver.
     down_link = Link(sim, link_rate, link_delay, receiver, name="sw0->recv")
     bottleneck = Port(
         sim, down_link, scheduler_factory(), marker_factory(),
         buffer_packets=buffer_packets, name="sw0:bottleneck",
+        pool=_account(buf, "sw0:bottleneck", down_link),
     )
     bottleneck_index = switch.add_port(bottleneck)
     switch.set_route(receiver.host_id, [bottleneck_index])
@@ -117,8 +148,10 @@ def single_bottleneck(
         up_link = Link(sim, link_rate, link_delay, switch, name=f"{sender.name}->sw0")
         sender.attach_nic(_plain_port(sim, up_link, f"{sender.name}:nic"))
         back_link = Link(sim, link_rate, link_delay, sender, name=f"sw0->{sender.name}")
+        back_name = f"sw0:to_{sender.name}"
         back_index = switch.add_port(
-            _plain_port(sim, back_link, f"sw0:to_{sender.name}")
+            _plain_port(sim, back_link, back_name,
+                        pool=_account(buf, back_name, back_link))
         )
         switch.set_route(sender.host_id, [back_index])
     return network
@@ -134,6 +167,7 @@ def leaf_spine(
     link_rate: float = 10e9,
     link_delay: float = DEFAULT_LINK_DELAY,
     buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    shared_buffer: Optional[SharedBufferSpec] = None,
 ) -> Network:
     """Build the paper's leaf-spine fabric.
 
@@ -141,7 +175,8 @@ def leaf_spine(
     switch output port (leaf downlinks, leaf uplinks, spine downlinks) is
     congestion-managed: it gets a fresh scheduler and marker from the
     factories.  Leaf→spine forwarding uses per-flow ECMP across all
-    spines.
+    spines.  With a ``shared_buffer`` spec in effect every switch chip
+    gets its own shared memory spanning all of that switch's ports.
     """
     network = Network(sim)
     n_hosts = n_leaf * hosts_per_leaf
@@ -150,10 +185,14 @@ def leaf_spine(
     leaves = [Switch(sim, name=f"leaf{i}", ecmp_salt=1000 + i) for i in range(n_leaf)]
     spines = [Switch(sim, name=f"spine{i}", ecmp_salt=2000 + i) for i in range(n_spine)]
     network.switches = leaves + spines
+    sb_spec = shared_buffer_enabled(shared_buffer)
+    bufs = {switch: _switch_buffer(switch, sb_spec)
+            for switch in network.switches}
 
-    def managed_port(link: Link, name: str) -> Port:
+    def managed_port(switch: Switch, link: Link, name: str) -> Port:
         return Port(sim, link, scheduler_factory(), marker_factory(),
-                    buffer_packets=buffer_packets, name=name)
+                    buffer_packets=buffer_packets, name=name,
+                    pool=_account(bufs[switch], name, link))
 
     # Host <-> leaf links.
     for leaf_index, leaf in enumerate(leaves):
@@ -162,7 +201,8 @@ def leaf_spine(
             up = Link(sim, link_rate, link_delay, leaf, name=f"{host.name}->{leaf.name}")
             host.attach_nic(_plain_port(sim, up, f"{host.name}:nic"))
             down = Link(sim, link_rate, link_delay, host, name=f"{leaf.name}->{host.name}")
-            port_index = leaf.add_port(managed_port(down, f"{leaf.name}:to_{host.name}"))
+            port_index = leaf.add_port(
+                managed_port(leaf, down, f"{leaf.name}:to_{host.name}"))
             leaf.set_route(host.host_id, [port_index])
 
     # Leaf <-> spine links (full bipartite).
@@ -170,10 +210,12 @@ def leaf_spine(
     for leaf_index, leaf in enumerate(leaves):
         for spine_index, spine in enumerate(spines):
             up = Link(sim, link_rate, link_delay, spine, name=f"{leaf.name}->{spine.name}")
-            up_index = leaf.add_port(managed_port(up, f"{leaf.name}:to_{spine.name}"))
+            up_index = leaf.add_port(
+                managed_port(leaf, up, f"{leaf.name}:to_{spine.name}"))
             uplink_indices[leaf_index].append(up_index)
             down = Link(sim, link_rate, link_delay, leaf, name=f"{spine.name}->{leaf.name}")
-            down_index = spine.add_port(managed_port(down, f"{spine.name}:to_{leaf.name}"))
+            down_index = spine.add_port(
+                managed_port(spine, down, f"{spine.name}:to_{leaf.name}"))
             for slot in range(hosts_per_leaf):
                 host_id = leaf_index * hosts_per_leaf + slot
                 spine.set_route(host_id, [down_index])
@@ -194,6 +236,7 @@ def fat_tree(
     link_rate: float = 10e9,
     link_delay: float = DEFAULT_LINK_DELAY,
     buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    shared_buffer: Optional[SharedBufferSpec] = None,
 ) -> Network:
     """Build a k-ary fat-tree (Al-Fares et al.).
 
@@ -224,10 +267,14 @@ def fat_tree(
         + [s for pod in aggs for s in pod]
         + [s for group in cores for s in group]
     )
+    sb_spec = shared_buffer_enabled(shared_buffer)
+    bufs = {switch: _switch_buffer(switch, sb_spec)
+            for switch in network.switches}
 
-    def managed_port(link: Link, name: str) -> Port:
+    def managed_port(switch: Switch, link: Link, name: str) -> Port:
         return Port(sim, link, scheduler_factory(), marker_factory(),
-                    buffer_packets=buffer_packets, name=name)
+                    buffer_packets=buffer_packets, name=name,
+                    pool=_account(bufs[switch], name, link))
 
     def host_of(pod: int, edge: int, slot: int) -> Host:
         return hosts[pod * hosts_per_pod + edge * half + slot]
@@ -250,7 +297,8 @@ def fat_tree(
                 down = Link(sim, link_rate, link_delay, host,
                             name=f"{edge_switch.name}->{host.name}")
                 index = edge_switch.add_port(
-                    managed_port(down, f"{edge_switch.name}:to_{host.name}"))
+                    managed_port(edge_switch, down,
+                                 f"{edge_switch.name}:to_{host.name}"))
                 edge_switch.set_route(host.host_id, [index])
 
     # Edge <-> aggregation links (full bipartite within a pod).
@@ -263,12 +311,14 @@ def fat_tree(
                 up = Link(sim, link_rate, link_delay, agg_switch,
                           name=f"{edge_switch.name}->{agg_switch.name}")
                 up_index = edge_switch.add_port(
-                    managed_port(up, f"{edge_switch.name}:to_{agg_switch.name}"))
+                    managed_port(edge_switch, up,
+                                 f"{edge_switch.name}:to_{agg_switch.name}"))
                 edge_uplinks[pod][e].append(up_index)
                 down = Link(sim, link_rate, link_delay, edge_switch,
                             name=f"{agg_switch.name}->{edge_switch.name}")
                 down_index = agg_switch.add_port(
-                    managed_port(down, f"{agg_switch.name}:to_{edge_switch.name}"))
+                    managed_port(agg_switch, down,
+                                 f"{agg_switch.name}:to_{edge_switch.name}"))
                 agg_down_to_edge[pod][j][e] = down_index
 
     # Aggregation <-> core links: agg j of every pod connects to core
@@ -283,12 +333,14 @@ def fat_tree(
                 up = Link(sim, link_rate, link_delay, core_switch,
                           name=f"{agg_switch.name}->{core_switch.name}")
                 up_index = agg_switch.add_port(
-                    managed_port(up, f"{agg_switch.name}:to_{core_switch.name}"))
+                    managed_port(agg_switch, up,
+                                 f"{agg_switch.name}:to_{core_switch.name}"))
                 agg_uplinks[pod][j].append(up_index)
                 down = Link(sim, link_rate, link_delay, agg_switch,
                             name=f"{core_switch.name}->{agg_switch.name}")
                 down_index = core_switch.add_port(
-                    managed_port(down, f"{core_switch.name}:to_{agg_switch.name}"))
+                    managed_port(core_switch, down,
+                                 f"{core_switch.name}:to_{agg_switch.name}"))
                 core_down_to_pod[j][m][pod] = down_index
 
     # Routes.

@@ -30,6 +30,12 @@ Validators
 - **pool debit/credit balance**: a shared pool's count must equal the
   sum over its audited member ports (plus any residual recorded when the
   members were attached).
+- **shared-buffer conservation** (fabric-wide): for a
+  :class:`~repro.net.sharedbuf.SharedBuffer`, the switch-wide totals
+  must equal the sum of every per-port account at all times (Σ per-port
+  debits == pool occupancy), each account must equal its own port's
+  occupancy (credits happen exactly once, on tx/drop/reset), and the
+  totals may never exceed the configured capacity.
 - **transport invariants** (per watched flow): ``snd_una`` is monotone
   and never exceeds ``next_seq``; ``cwnd >= 1``; Karn's rule — an ACK of
   a retransmitted segment changes no RTT state; the receiver's
@@ -205,6 +211,8 @@ class FabricAuditor:
         self.unattached_link_drops = 0
         #: pool -> (packet residual, byte residual) at member attach time.
         self._pool_residuals: Dict[Any, Tuple[int, int]] = {}
+        #: Switch-wide SharedBuffers discovered behind port accounts.
+        self._shared_buffers: List[Any] = []
         self._hosts: List[Any] = []
         self._switches: List[Any] = []
         self._base_host_received: List[int] = []
@@ -232,6 +240,9 @@ class FabricAuditor:
         )
         if port.pool is not None:
             self._rebalance_pool(port.pool)
+            shared = getattr(port.pool, "shared", None)
+            if shared is not None and shared not in self._shared_buffers:
+                self._shared_buffers.append(shared)
 
     def attach_network(self, network: "Network") -> None:
         """Attach every switch port and host NIC of a built topology."""
@@ -535,6 +546,9 @@ class FabricAuditor:
         # Pool debit/credit balance.
         if port.pool is not None:
             self._check_pool(port.pool, event)
+            shared = getattr(port.pool, "shared", None)
+            if shared is not None:
+                self._check_shared(shared, event)
 
     def _member_sums(self, pool) -> Tuple[int, int]:
         packets = bytes_ = 0
@@ -565,6 +579,33 @@ class FabricAuditor:
                        ("sum of member ports + residual",
                         bytes_ + residual_bytes), event)
 
+    def _check_shared(self, shared, event: str) -> None:
+        """Fabric-wide conservation for one switch-wide SharedBuffer.
+
+        Σ per-port account debits must equal the pool's totals at every
+        event (a packet credited twice — the old ``Port.reset`` bypass —
+        or never credited diverges them immediately), and the totals may
+        never exceed the configured capacity.  The companion per-account
+        rule (account == its port's own occupancy) rides the generic
+        :meth:`_check_pool` run on each member account.
+        """
+        self.checks += 1
+        packets = sum(a.packet_count for a in shared.accounts)
+        bytes_ = sum(a.byte_count for a in shared.accounts)
+        if shared.packet_count != packets:
+            self._fail("sharedbuf-conservation", shared.name,
+                       ("shared.packet_count", shared.packet_count),
+                       ("sum of port accounts", packets), event)
+        if shared.byte_count != bytes_:
+            self._fail("sharedbuf-conservation-bytes", shared.name,
+                       ("shared.byte_count", shared.byte_count),
+                       ("sum of port accounts", bytes_), event)
+        if shared.packet_count > shared.capacity_packets:
+            self._fail("sharedbuf-capacity", shared.name,
+                       ("shared.packet_count", shared.packet_count),
+                       ("capacity_packets", shared.capacity_packets),
+                       event)
+
     # -- on-demand verification -------------------------------------------
 
     def verify_port(self, port: "Port") -> None:
@@ -584,6 +625,8 @@ class FabricAuditor:
             self._check_port(port, state, "verify_fabric")
         for pool in self._pool_residuals:
             self._check_pool(pool, "verify_fabric")
+        for shared in self._shared_buffers:
+            self._check_shared(shared, "verify_fabric")
         if self._hosts or self._switches:
             self.checks += 1
             delivered = sum(

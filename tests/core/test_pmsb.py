@@ -178,3 +178,43 @@ class TestAverageOccupancy:
         probe = make_data(9, 0, 1, 0)
         port.enqueue(probe, 0)
         assert probe.ce is False
+
+
+class _ZeroWeightPort:
+    """A port-shaped stub: schedulers reject zero weights, so the only
+    way PMSB can meet a degenerate weight vector is a hand-built port."""
+
+    name = "stub-port"
+    weights = [0.0, 0.0]
+
+
+class TestWeightSumCache:
+    def test_attach_caches_the_weight_sum(self, sim):
+        marker = PmsbMarker(16)
+        make_port(sim, marker, weights=(3, 1))
+        assert marker._weight_sum == 4.0
+
+    def test_zero_weight_sum_rejected_at_attach(self):
+        marker = PmsbMarker(16)
+        with pytest.raises(ValueError, match="weight sum"):
+            marker.attach(_ZeroWeightPort())
+
+    def test_unattached_direct_call_still_works(self, sim):
+        # queue_threshold falls back to computing the sum on the fly when
+        # the marker was never attached (probe/unit-test usage).
+        marker = PmsbMarker(16)
+        port = make_port(sim, PmsbMarker(16), weights=(1, 1))
+        assert marker._weight_sum is None
+        assert marker.queue_threshold(port, 0) == 8.0
+
+    def test_reset_refreshes_the_cache(self, sim):
+        marker = PmsbMarker(16)
+        port = make_port(sim, marker, weights=(1, 1))
+        assert marker.queue_threshold(port, 0) == 8.0
+        # Reconfigure the scheduler weights in place (the one legitimate
+        # way a port's weight vector can change), then reset the port:
+        # the cached sum must follow.
+        port.weights[0] = 3.0
+        port.reset()
+        assert marker._weight_sum == 4.0
+        assert marker.queue_threshold(port, 0) == 12.0

@@ -102,6 +102,21 @@ class TestThresholdDynamics:
         sim.run(until=sim.now + 2 * MTU_BYTES * 8 / RATE)
         assert marker.t_round == 0.0
 
+    def test_port_built_mid_run_is_not_idle_reset(self, sim):
+        # Regression: ``Port.last_departure`` used to initialize to 0.0,
+        # so a port constructed after the clock had advanced (topologies
+        # grown mid-run, post-``reset`` rebuilds) looked idle since t=0
+        # and the very first enqueue took the T_idle reset branch.  The
+        # anchor is now the construction time, so a port that has never
+        # transmitted is only "idle" since it has existed.
+        sim.run(until=1e-3)  # advance well past any t_idle
+        marker = MqEcnMarker(rtt=RTT, lam=1.0, beta=0.0)
+        port = dwrr_port(sim, marker)
+        assert port.last_departure == sim.now
+        marker._t_round = 5e-6  # probe: a primed round estimate
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        assert marker.t_round == 5e-6
+
     def test_marks_when_queue_exceeds_dynamic_threshold(self, sim):
         marker = MqEcnMarker(rtt=RTT, lam=1.0)
         port = dwrr_port(sim, marker)

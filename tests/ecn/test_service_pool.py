@@ -40,6 +40,26 @@ class TestBufferPool:
         with pytest.raises(RuntimeError):
             pool.remove(100)
 
+    def test_bulk_credit(self):
+        pool = BufferPool()
+        for _ in range(3):
+            pool.add(1000)
+        pool.credit(3, 3000)
+        assert pool.packet_count == 0
+        assert pool.byte_count == 0
+
+    def test_credit_guards_bytes_too(self):
+        pool = BufferPool()
+        pool.add(100)
+        with pytest.raises(RuntimeError, match="negative"):
+            pool.credit(1, 200)
+
+    def test_over_credit_packets_raises(self):
+        pool = BufferPool()
+        pool.add(100)
+        with pytest.raises(RuntimeError, match="negative"):
+            pool.credit(2, 100)
+
     def test_capacity(self):
         pool = BufferPool(capacity_packets=1)
         assert not pool.is_full

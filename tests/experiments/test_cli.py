@@ -214,3 +214,36 @@ class TestRunsGroup:
         assert main(["runs", "show", "--cache-dir",
                      str(tmp_path / "c"), "deadbeef"]) == 1
         assert "no record" in capsys.readouterr().err
+
+
+class TestSharedBufferFlag:
+    def test_every_command_accepts_shared_buffer(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args(
+                [name, "--shared-buffer", "dt:capacity=64,alpha=2"])
+            assert args.shared_buffer == "dt:capacity=64,alpha=2"
+
+    def test_bad_spec_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--shared-buffer", "bogus"])
+        assert "sharing policy" in capsys.readouterr().err
+
+    def test_default_scoped_to_command(self, capsys):
+        # The process default set by --shared-buffer must not leak past
+        # the command's dispatch (same contract as --audit/--faults).
+        from repro.net.sharedbuf import shared_buffer_enabled
+        assert main(["fig3", "--duration", "0.004",
+                     "--shared-buffer", "dt:capacity=400,alpha=4"]) == 0
+        assert shared_buffer_enabled(None) is None
+        capsys.readouterr()
+
+    def test_sharedbuf_command_runs_and_caches(self, tmp_path, capsys):
+        argv = ["sharedbuf", "--profile", "tiny", "--schemes", "pmsb",
+                "--alphas", "1.0", "--target-delays", "0.0002",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "dt" in cold and "bshare" in cold and "none" in cold
+        assert main(argv) == 0  # warm: answered from the run store
+        assert capsys.readouterr().out == cold

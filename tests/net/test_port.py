@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.ecn.base import Marker, MarkPoint
-from repro.ecn.service_pool import BufferPool
+from repro.ecn.service_pool import BufferPool, DynamicThresholdPool
+from repro.sim.audit import FabricAuditor
 from repro.net.link import Link
 from repro.net.packet import make_data
 from repro.net.port import Port
@@ -231,6 +232,37 @@ class TestReset:
         port.enqueue(make_data(1, 0, 1, 1), 0)
         sim.run()
         assert [packet.seq for packet in sink.received] == [1]
+
+    def test_last_departure_anchored_at_construction(self, sim):
+        # Regression: ports built mid-run used to anchor at t=0, so
+        # idle-gap logic (MQ-ECN's T_idle) saw an idle period predating
+        # the port itself.
+        sim.run(until=2e-3)
+        port, _sink = make_port(sim)
+        assert port.last_departure == sim.now
+
+    def test_reset_mid_burst_under_audit(self, sim):
+        # Regression: reset used to bypass ``BufferPool.credit`` and
+        # mutate the pool counters directly — the negative-accounting
+        # guard could never catch a double credit, and pool subclasses
+        # never saw the bulk return.  Reset now routes through credit();
+        # the auditor proves the ledgers stay balanced either side.
+        auditor = FabricAuditor(sim)
+        pool = DynamicThresholdPool(100, alpha=8.0)
+        port, _sink = make_port(sim, pool=pool)
+        auditor.attach_port(port)
+        for seq in range(10):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        sim.run(until=1e-6)  # mid-burst: port busy, buffer occupied
+        assert port.busy
+        assert pool.packet_count > 0
+        sim.clear()
+        port.reset()
+        assert pool.packet_count == 0
+        assert pool.byte_count == 0
+        port.reset()  # nothing left: must not credit a second time
+        assert pool.packet_count == 0
+        auditor.verify_fabric()
 
     def test_reset_credits_shared_pool(self, sim):
         pool = BufferPool(capacity_packets=10)

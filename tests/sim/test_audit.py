@@ -250,6 +250,51 @@ class TestPoolValidators:
         auditor.verify_fabric()
 
 
+class TestSharedBufferValidators:
+    def _shared_port(self, sim, auditor, shared, name="p"):
+        sink = Sink()
+        link = Link(sim, 1e9, 1e-6, sink)
+        port = Port(sim, link, FifoScheduler(1), None,
+                    pool=shared.port_account(name, link))
+        auditor.attach_port(port)
+        return port
+
+    def test_clean_shared_traffic_passes(self, sim):
+        from repro.net.sharedbuf import DynamicThresholdPolicy, SharedBuffer
+        shared = SharedBuffer(16, DynamicThresholdPolicy(1.0))
+        auditor = FabricAuditor(sim)
+        port_a = self._shared_port(sim, auditor, shared, "a")
+        port_b = self._shared_port(sim, auditor, shared, "b")
+        for seq in range(4):
+            port_a.enqueue(make_data(1, 0, 1, seq), 0)
+            port_b.enqueue(make_data(2, 0, 1, seq), 0)
+        sim.run()
+        assert auditor.verify_fabric() > 0
+
+    def test_phantom_shared_debit_fails_conservation(self, sim):
+        from repro.net.sharedbuf import SharedBuffer
+        shared = SharedBuffer(16)
+        auditor = FabricAuditor(sim)
+        port = self._shared_port(sim, auditor, shared)
+        port.enqueue(make_data(1, 0, 1, 0), 0)
+        shared.packet_count += 1  # phantom debit: totals leave the ledger
+        with pytest.raises(InvariantViolation) as err:
+            auditor.verify_fabric()
+        assert err.value.counter == "sharedbuf-conservation"
+
+    def test_occupancy_over_capacity_fails(self, sim):
+        from repro.net.sharedbuf import SharedBuffer
+        shared = SharedBuffer(8)
+        auditor = FabricAuditor(sim)
+        port = self._shared_port(sim, auditor, shared)
+        for seq in range(6):
+            port.enqueue(make_data(1, 0, 1, seq), 0)
+        shared.capacity_packets = 4  # shrink below live occupancy
+        with pytest.raises(InvariantViolation) as err:
+            auditor.verify_fabric()
+        assert err.value.counter == "sharedbuf-capacity"
+
+
 class TestEcnValidators:
     def test_ce_without_ect_is_illegal(self, sim):
         _auditor, port, _sink = audited_port(sim)
