@@ -41,10 +41,11 @@ import sys
 from dataclasses import asdict, replace
 from typing import Any, List, Optional
 
+from .control.controller import ControllerSpec, set_controller_default
 from .core.capabilities import capability_table
-from .experiments import (ablations, analysis_validation, chaos, extensions,
-                          largescale, marking_point, motivation, sharedbuf,
-                          static_flows)
+from .experiments import (ablations, analysis_validation, autotune, chaos,
+                          extensions, largescale, marking_point, motivation,
+                          sharedbuf, static_flows)
 from .experiments.scale import BENCH, PAPER, TINY
 from .metrics.export import rows_to_csv, to_json
 from .metrics.fct import SizeClass
@@ -417,6 +418,44 @@ def cmd_sharedbuf(args) -> Any:
     return rows
 
 
+def cmd_autotune(args) -> Any:
+    profile = _profile(args) or BENCH
+    report = autotune.run_autotune(
+        grid=tuple(args.grid),
+        scheduler_name=args.scheduler,
+        load_lo=args.load_lo,
+        load_hi=args.load_hi,
+        profile=profile,
+        seed=args.seed,
+        chaos=args.chaos,
+        rounds=args.rounds,
+        population=args.population,
+        jobs=args.jobs,
+        store=args.cache_dir,
+        audit=bool(args.audit),
+        force=args.force,
+    )
+    chaos_note = " + uplink flap" if args.chaos else ""
+    print(f"X-AUTOTUNE: load shift {args.load_lo:.2f} -> "
+          f"{args.load_hi:.2f}{chaos_note}, small-flow p99 FCT "
+          f"(t_shift {report.best_static.t_shift * 1e3:.2f} ms)")
+    print(f"{'K static':>9s} {'sm p99':>10s} {'sm mean':>10s} "
+          f"{'overall':>10s}")
+    for row in report.static_rows:
+        small_mean = (f"{row.small_mean * 1e6:9.1f}u"
+                      if row.small_mean is not None else "        --")
+        print(f"{row.k0:9.0f} {row.objective * 1e6:9.1f}u {small_mean} "
+              f"{row.overall_mean * 1e6:9.1f}u")
+    best = report.best_tuned
+    print(f"best static  K={report.best_static.k0:<4.0f}"
+          f" -> {report.best_static.objective * 1e6:9.1f}u")
+    print(f"best tuned   K={best.k0:.0f}->{best.k1:<4.0f}"
+          f" -> {best.objective * 1e6:9.1f}u "
+          f"({report.improvement_percent:+.1f}% vs static, "
+          f"{report.n_evaluations} candidates)")
+    return report.to_payload()
+
+
 def cmd_coexist(args) -> Any:
     config = RunConfig(duration=_duration(args))
     baseline = extensions.pmsbe_coexistence(False, config=config)
@@ -460,10 +499,12 @@ COMMANDS = {
                     "C-SWEEP — FCT sweep across loss rates"),
     "sharedbuf": (cmd_sharedbuf,
                   "X-SHAREDBUF — buffer-contention sweep (DT + BShare)"),
+    "autotune": (cmd_autotune,
+                 "X-AUTOTUNE — static vs closed-loop PMSB thresholds"),
 }
 
 #: Commands that understand the run-store cache flags.
-_STORE_BACKED = ("sweep", "chaos-sweep", "sharedbuf")
+_STORE_BACKED = ("sweep", "chaos-sweep", "sharedbuf", "autotune")
 
 
 # -- run-store maintenance commands ------------------------------------------
@@ -594,6 +635,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "'iid-loss:rate=0.001,links=leaf*->spine*' "
                              "or 'flap:links=bottleneck,down=0.01,"
                              "up=0.02' (repeatable)")
+    common.add_argument("--controller", metavar="SPEC", default=None,
+                        help="attach a closed-loop threshold controller "
+                             "to every fabric the command builds; SPEC "
+                             "is name:key=val,key=val with controllers "
+                             "theorem / cem, e.g. "
+                             "'theorem:period=0.0005,margin=1.5' or "
+                             "'cem:t1=0.01,k0=12,k1=24'")
 
     store_dir = argparse.ArgumentParser(add_help=False)
     store_dir.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -666,6 +714,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="BShare queueing-delay targets in "
                                   "seconds (default: "
                                   f"{' '.join(str(d) for d in sharedbuf.DEFAULT_TARGET_DELAYS)})")
+        if name == "autotune":
+            cmd.add_argument("--grid", type=float, nargs="+",
+                             default=list(autotune.DEFAULT_GRID),
+                             help="port-threshold grid in packets "
+                                  f"(default: "
+                                  f"{' '.join(str(k) for k in autotune.DEFAULT_GRID)})")
+            cmd.add_argument("--load-lo", type=float, default=0.3,
+                             help="phase-A offered load (default: 0.3)")
+            cmd.add_argument("--load-hi", type=float, default=0.7,
+                             help="phase-B offered load after the shift "
+                                  "(default: 0.7)")
+            cmd.add_argument("--chaos", action="store_true",
+                             help="also flap a spine uplink for 2 ms "
+                                  "right after the load shift")
+            cmd.add_argument("--rounds", type=int, default=3,
+                             help="cross-entropy rounds (default: 3)")
+            cmd.add_argument("--population", type=int, default=6,
+                             help="candidates drawn per round "
+                                  "(default: 6)")
 
     runs = sub.add_parser("runs",
                           help="inspect the content-addressed run store")
@@ -725,6 +792,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             for text in (getattr(args, "faults", None) or ()))
         sb_text = getattr(args, "shared_buffer", None)
         sb_spec = SharedBufferSpec.parse(sb_text) if sb_text else None
+        ctl_text = getattr(args, "controller", None)
+        ctl_spec = ControllerSpec.parse(ctl_text) if ctl_text else None
     except ValueError as exc:
         parser.error(str(exc))
     audit_on = getattr(args, "audit", False)
@@ -738,6 +807,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         set_fault_default(fault_specs)
     if sb_spec is not None:
         set_shared_buffer_default(sb_spec)
+    if ctl_spec is not None:
+        set_controller_default(ctl_spec)
     try:
         payload = fn(args)
     finally:
@@ -747,6 +818,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
             set_fault_default(())
         if sb_spec is not None:
             set_shared_buffer_default(None)
+        if ctl_spec is not None:
+            set_controller_default(None)
     if payload is not None:
         _maybe_export(args, payload)
     return 0

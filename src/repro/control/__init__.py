@@ -1,0 +1,29 @@
+"""Closed-loop threshold control.
+
+Observation sampling (:mod:`repro.control.observation`), the controller
+interface and the two shipped controllers
+(:mod:`repro.control.controller`), and the deterministic cross-entropy
+optimizer behind X-AUTOTUNE (:mod:`repro.control.cem`).
+"""
+
+from .cem import CemResult, cross_entropy_search
+from .controller import (CemController, ControllerRuntime, ControllerSpec,
+                         TheoremController, ThresholdController,
+                         build_runtime, controller_enabled,
+                         set_controller_default)
+from .observation import ObservationVector, PortSampler
+
+__all__ = [
+    "CemController",
+    "CemResult",
+    "ControllerRuntime",
+    "ControllerSpec",
+    "ObservationVector",
+    "PortSampler",
+    "TheoremController",
+    "ThresholdController",
+    "build_runtime",
+    "controller_enabled",
+    "cross_entropy_search",
+    "set_controller_default",
+]

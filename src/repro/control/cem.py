@@ -1,0 +1,132 @@
+"""Deterministic cross-entropy optimization over a threshold grid.
+
+The X-AUTOTUNE experiment family searches the plane of two-phase PMSB
+schedules ``(k0, k1)`` — the port threshold before and after a load
+shift — for the pair minimizing a tail-FCT objective.  The search is
+gradient-free cross-entropy method (CEM):
+
+1. maintain a Gaussian over *grid-index* space (continuous mean/std per
+   coordinate);
+2. each round, draw a population, snap every sample to the nearest grid
+   point, and evaluate the distinct, not-yet-seen candidates;
+3. refit mean/std to the elite fraction (best-scoring candidates of the
+   round, by the caller's ``evaluate`` — lower is better);
+4. stop after ``rounds`` rounds or when the std collapses below one
+   grid step in both coordinates.
+
+Determinism is load-bearing: every draw comes from one
+:func:`~repro.sim.rng.make_rng` stream keyed by the caller's seed, and
+evaluations are memoized in an ``evaluated`` dict the caller may
+pre-seed (the autotune runner seeds it with the static diagonal — every
+``(k, k)`` schedule — so the tuned winner can never score worse than
+the best static threshold, and the content-addressed run store makes
+repeated evaluations free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.rng import make_rng
+
+__all__ = ["CemResult", "cross_entropy_search"]
+
+Candidate = Tuple[float, float]
+
+
+@dataclass
+class CemResult:
+    """Outcome of one cross-entropy search."""
+
+    #: Best candidate seen anywhere (including pre-seeded evaluations).
+    best: Candidate
+    best_score: float
+    #: Every evaluated candidate → score (includes pre-seeded entries).
+    evaluated: Dict[Candidate, float]
+    #: Per-round record: (mean, std, round's best candidate, its score).
+    history: List[Tuple[Tuple[float, float], Tuple[float, float],
+                        Candidate, float]] = field(default_factory=list)
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluated)
+
+
+def _snap(value: float, upper: int) -> int:
+    index = int(round(value))
+    if index < 0:
+        return 0
+    if index > upper:
+        return upper
+    return index
+
+
+def cross_entropy_search(
+    evaluate: Callable[[float, float], float],
+    grid: Sequence[float],
+    seed: int,
+    rounds: int = 4,
+    population: int = 8,
+    elite_frac: float = 0.25,
+    evaluated: Optional[Dict[Candidate, float]] = None,
+) -> CemResult:
+    """Minimize ``evaluate(k0, k1)`` over ``grid × grid``.
+
+    ``evaluate`` must be deterministic (same candidate → same score);
+    it is called at most once per distinct candidate.  ``evaluated``
+    pre-seeds the memo table — pre-seeded candidates count toward
+    ``best`` but are never re-evaluated.
+    """
+    grid = sorted(set(float(k) for k in grid))
+    if len(grid) < 1:
+        raise ValueError("grid must contain at least one threshold")
+    if rounds < 1 or population < 1:
+        raise ValueError("rounds and population must be positive")
+    if not 0.0 < elite_frac <= 1.0:
+        raise ValueError("elite_frac must be in (0, 1]")
+    scores: Dict[Candidate, float] = dict(evaluated) if evaluated else {}
+    rng = make_rng(seed)
+    upper = len(grid) - 1
+    # Start centered with enough spread to reach the whole grid.
+    mean = [upper / 2.0, upper / 2.0]
+    std = [max(1.0, upper / 2.0), max(1.0, upper / 2.0)]
+    n_elite = max(1, int(round(population * elite_frac)))
+    history: List[Tuple[Tuple[float, float], Tuple[float, float],
+                        Candidate, float]] = []
+
+    for _ in range(rounds):
+        draws = rng.normal(loc=mean, scale=std, size=(population, 2))
+        round_candidates: List[Tuple[int, int]] = []
+        seen_round = set()
+        for row in draws:
+            pair = (_snap(row[0], upper), _snap(row[1], upper))
+            if pair not in seen_round:
+                seen_round.add(pair)
+                round_candidates.append(pair)
+        scored: List[Tuple[float, Tuple[int, int]]] = []
+        for i, j in round_candidates:
+            candidate = (grid[i], grid[j])
+            if candidate not in scores:
+                scores[candidate] = float(evaluate(*candidate))
+            scored.append((scores[candidate], (i, j)))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        elite = scored[:n_elite]
+        round_best_score, (bi, bj) = elite[0]
+        history.append(((mean[0], mean[1]), (std[0], std[1]),
+                        (grid[bi], grid[bj]), round_best_score))
+        # Refit to the elite set (population std; floor keeps the
+        # search alive when the elite collapses to one point).
+        for axis in range(2):
+            values = [pair[axis] for _, pair in elite]
+            mean[axis] = sum(values) / len(values)
+            variance = sum((v - mean[axis]) ** 2 for v in values) / len(values)
+            std[axis] = max(0.25, variance ** 0.5)
+        if std[0] < 0.5 and std[1] < 0.5:
+            break
+
+    # Best over EVERYTHING evaluated, pre-seeded diagonals included —
+    # ties break deterministically toward the smaller candidate.
+    best = min(scores.items(), key=lambda item: (item[1], item[0]))
+    return CemResult(best=best[0], best_score=best[1],
+                     evaluated=scores, history=history)

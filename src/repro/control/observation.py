@@ -1,0 +1,114 @@
+"""Per-port observation sampling for threshold controllers.
+
+A :class:`PortSampler` snapshots one port's cumulative counters and, on
+each controller period, turns the deltas into an
+:class:`ObservationVector` — the closed-loop input a
+:class:`~repro.control.controller.ThresholdController` sees:
+
+- **occupancy**: instantaneous buffer depth (packets and bytes);
+- **throughput / utilization**: bits transmitted over the window,
+  normalized by the link rate;
+- **marking rate**: fraction of ECN-capable packets the port's marker
+  marked during the window;
+- **drop rate**: drops per packet arrival during the window;
+- **RTT samples**: what the transports measured during the window
+  (collected fabric-wide by the runtime from senders opened with
+  ``record_rtt``; empty when no transport records RTTs).
+
+Everything is computed from counters the datapath already maintains, so
+sampling costs nothing between periods and a disabled controller costs
+nothing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.port import Port
+
+__all__ = ["ObservationVector", "PortSampler"]
+
+
+@dataclass(frozen=True)
+class ObservationVector:
+    """One port's state over one controller period."""
+
+    #: Port name (``sw0:bottleneck`` etc.).
+    port: str
+    #: Sample time (end of the window, seconds).
+    time: float
+    #: Window length (seconds).
+    interval: float
+    #: Instantaneous buffer depth at sample time.
+    occupancy_packets: int
+    occupancy_bytes: int
+    #: Attached link capacity (bits/s) — lets analytic controllers
+    #: compute BDP-denominated bounds without reaching into the port.
+    capacity_bps: float
+    #: Bits transmitted during the window / window length.
+    throughput_bps: float
+    #: ``throughput_bps / capacity_bps``.
+    utilization: float
+    #: Marked fraction of ECN-capable packets seen during the window.
+    marking_rate: float
+    #: Drops per packet arrival during the window.
+    drop_rate: float
+    #: RTT samples the transports recorded during the window (seconds).
+    rtt_samples: Tuple[float, ...]
+
+
+class PortSampler:
+    """Delta-tracker turning one port's counters into observations."""
+
+    __slots__ = ("port", "_last_time", "_last_tx_bytes", "_last_seen",
+                 "_last_marked", "_last_drops", "_last_arrivals")
+
+    def __init__(self, port: "Port"):
+        self.port = port
+        self._last_time = port.sim.now
+        self._rebaseline()
+
+    def _rebaseline(self) -> None:
+        port = self.port
+        self._last_tx_bytes = port.tx_bytes
+        self._last_seen = port.marker.packets_seen
+        self._last_marked = port.marker.packets_marked
+        self._last_drops = port.drops
+        self._last_arrivals = self._arrivals()
+
+    def _arrivals(self) -> int:
+        # Cumulative packets offered to the port: everything transmitted
+        # or still buffered was enqueued once, plus admission drops.
+        port = self.port
+        return port.tx_packets + port.packet_count + port.drops
+
+    def sample(self, now: float,
+               rtt_samples: Tuple[float, ...] = ()) -> ObservationVector:
+        """Close the current window at ``now`` and open the next one."""
+        port = self.port
+        interval = now - self._last_time
+        tx_bits = (port.tx_bytes - self._last_tx_bytes) * 8.0
+        throughput = tx_bits / interval if interval > 0 else 0.0
+        capacity = port.link.bandwidth
+        seen = port.marker.packets_seen - self._last_seen
+        marked = port.marker.packets_marked - self._last_marked
+        arrivals = self._arrivals() - self._last_arrivals
+        drops = port.drops - self._last_drops
+        observation = ObservationVector(
+            port=port.name,
+            time=now,
+            interval=interval,
+            occupancy_packets=port.packet_count,
+            occupancy_bytes=port.byte_count,
+            capacity_bps=capacity,
+            throughput_bps=throughput,
+            utilization=throughput / capacity if capacity > 0 else 0.0,
+            marking_rate=marked / seen if seen > 0 else 0.0,
+            drop_rate=drops / arrivals if arrivals > 0 else 0.0,
+            rtt_samples=tuple(rtt_samples),
+        )
+        self._last_time = now
+        self._rebaseline()
+        return observation

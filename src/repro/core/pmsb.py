@@ -44,6 +44,8 @@ __all__ = ["PmsbMarker"]
 class PmsbMarker(Marker):
     """Algorithm 1: per-port marking gated by a per-queue share filter."""
 
+    _THRESHOLD_FIELDS = ("port_threshold_packets", "blindness_scale")
+
     def __init__(
         self,
         port_threshold_packets: float,
@@ -75,7 +77,18 @@ class PmsbMarker(Marker):
         super().attach(port)
         self._weight_sum = self._compute_weight_sum(port)
 
+    def _validate_thresholds(self, merged) -> None:
+        if merged["port_threshold_packets"] < 0:
+            raise ValueError("port threshold cannot be negative")
+        if merged["blindness_scale"] < 0:
+            raise ValueError("blindness_scale cannot be negative")
+
+    def _apply_thresholds(self, changes) -> None:
+        for name, value in changes.items():
+            setattr(self, name, float(value))
+
     def on_reset(self, port: "Port") -> None:
+        super().on_reset(port)
         # §IV-C averaged-occupancy variant: the port EWMA tracks the
         # discarded buffer contents, so it restarts from empty.
         self._avg_port = 0.0

@@ -36,6 +36,8 @@ __all__ = ["MqEcnMarker"]
 class MqEcnMarker(Marker):
     """Dynamic per-queue thresholds driven by the scheduler round time."""
 
+    _THRESHOLD_FIELDS = ("rtt", "lam", "t_idle")
+
     def __init__(
         self,
         rtt: float,
@@ -76,9 +78,19 @@ class MqEcnMarker(Marker):
         self._capacity_bps = port.link.bandwidth
         if self.t_idle is None:
             self.t_idle = MTU_BYTES * 8.0 / self._capacity_bps
+            # Re-capture: the baseline must hold the resolved default,
+            # not the ``None`` placeholder ``super().attach`` saw.
+            self._baseline_thresholds = self.thresholds()
         port.scheduler.round_observer = self._on_round
 
+    def _validate_thresholds(self, merged) -> None:
+        if merged["rtt"] <= 0:
+            raise ValueError("rtt must be positive")
+        if merged["t_idle"] is not None and merged["t_idle"] < 0:
+            raise ValueError("t_idle cannot be negative")
+
     def on_reset(self, port: "Port") -> None:
+        super().on_reset(port)
         # Round bookkeeping is per-traffic-epoch: a reset port starts
         # from the permissive standard threshold, exactly like the
         # T_idle path, instead of carrying a stale round estimate into

@@ -23,6 +23,8 @@ __all__ = ["PerPortMarker"]
 class PerPortMarker(Marker):
     """Mark when the whole port's occupancy reaches the threshold."""
 
+    _THRESHOLD_FIELDS = ("threshold_packets",)
+
     def __init__(
         self,
         threshold_packets: float,
@@ -32,6 +34,13 @@ class PerPortMarker(Marker):
         if threshold_packets < 0:
             raise ValueError("threshold cannot be negative")
         self.threshold_packets = float(threshold_packets)
+
+    def _validate_thresholds(self, merged) -> None:
+        if merged["threshold_packets"] < 0:
+            raise ValueError("threshold cannot be negative")
+
+    def _apply_thresholds(self, changes) -> None:
+        self.threshold_packets = float(changes["threshold_packets"])
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
         return port.packet_count >= self.threshold_packets

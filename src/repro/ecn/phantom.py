@@ -31,6 +31,7 @@ class PhantomQueueMarker(Marker):
     """Mark when the virtual (phantom) queue exceeds the threshold."""
 
     supported_points = frozenset({MarkPoint.DEQUEUE})
+    _THRESHOLD_FIELDS = ("threshold_bytes", "drain_factor")
 
     def __init__(self, threshold_bytes: float, drain_factor: float = 0.95):
         super().__init__(MarkPoint.DEQUEUE)
@@ -48,7 +49,20 @@ class PhantomQueueMarker(Marker):
         super().attach(port)
         self._drain_Bps = self.drain_factor * port.link.bandwidth / 8.0
 
+    def _validate_thresholds(self, merged) -> None:
+        if merged["threshold_bytes"] < 0:
+            raise ValueError("threshold cannot be negative")
+        if not 0.0 < merged["drain_factor"] <= 1.0:
+            raise ValueError("drain_factor must be in (0, 1]")
+
+    def _apply_thresholds(self, changes) -> None:
+        super()._apply_thresholds(changes)
+        if "drain_factor" in changes and self._attached_port is not None:
+            self._drain_Bps = (self.drain_factor
+                               * self._attached_port.link.bandwidth / 8.0)
+
     def on_reset(self, port: "Port") -> None:
+        super().on_reset(port)
         # The virtual queue drains with the discarded real one; anchoring
         # the leak clock at now prevents a huge retroactive leak window.
         self._phantom_bytes = 0.0

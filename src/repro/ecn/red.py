@@ -14,15 +14,23 @@ paper (and production DCTCP) uses: ``min_th = max_th = K``, weight 1
 RED here watches the *port* occupancy; combine with
 :class:`~repro.ecn.per_queue.PerQueueMarker` semantics by setting
 ``per_queue=True`` to watch the packet's own queue instead.
+
+Determinism: ``seed`` is a *base* seed — at attach time the marker
+derives its private stream from ``(seed, port-name digest)`` with the
+same splitmix64 mixing the fault layer uses, so every RED port in a
+fabric draws an independent sequence, different run seeds produce
+different coin flips, and results are identical at any ``--jobs`` level.
+Topology builders need no extra plumbing: their per-port marker
+factories construct one instance per port and the attach-time
+derivation decorrelates them.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from ..net.packet import Packet
+from ..net.packet import MTU_BYTES, Packet
+from ..sim.rng import make_rng, stable_digest, stable_hash
 from .base import Marker, MarkPoint
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,6 +41,9 @@ __all__ = ["RedMarker"]
 
 class RedMarker(Marker):
     """Classic RED over packet-count occupancy."""
+
+    _THRESHOLD_FIELDS = ("min_threshold", "max_threshold",
+                         "max_probability", "weight")
 
     def __init__(
         self,
@@ -57,11 +68,17 @@ class RedMarker(Marker):
         #: EWMA gain; 1.0 means "instantaneous queue" (DCTCP setting).
         self.weight = float(weight)
         self.per_queue = per_queue
+        #: Base seed; the per-port stream is derived at attach time.
+        self.seed = int(seed)
         self._avg = 0.0
         #: Packets since the last mark while in the linear region — RED's
         #: count correction spreads marks uniformly.
         self._count = 0
-        self._rng = np.random.default_rng(seed)
+        self._rng = None
+        #: One MTU transmission time on the attached link — the sample
+        #: interval of the idle correction (infinite until attach, so an
+        #: unattached marker never decays).
+        self._mtu_time = float("inf")
 
     @classmethod
     def dctcp_profile(cls, threshold_packets: float,
@@ -77,11 +94,43 @@ class RedMarker(Marker):
             mark_point=mark_point,
         )
 
+    def attach(self, port: "Port") -> None:
+        super().attach(port)
+        self._mtu_time = MTU_BYTES * 8.0 / port.link.bandwidth
+        self._rng = self._derive_stream()
+
+    def _derive_stream(self):
+        """Per-port coin-flip stream: (base seed, port-name digest).
+
+        Same keying discipline as ``repro.sim.faults``: ports draw
+        independent sequences, and the stream is reproducible across
+        processes, ``--jobs`` levels, and resets.
+        """
+        token = 0
+        if self._attached_port is not None:
+            token = int(stable_digest(self._attached_port.name)[:16], 16)
+        return make_rng(stable_hash(self.seed, token))
+
+    def _validate_thresholds(self, merged) -> None:
+        if not 0 <= merged["min_threshold"] <= merged["max_threshold"]:
+            raise ValueError("need 0 <= min_threshold <= max_threshold")
+        if not 0.0 < merged["max_probability"] <= 1.0:
+            raise ValueError("max_probability must be in (0, 1]")
+        if not 0.0 < merged["weight"] <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+
+    def _apply_thresholds(self, changes) -> None:
+        for name, value in changes.items():
+            setattr(self, name, float(value))
+
     def on_reset(self, port: "Port") -> None:
+        super().on_reset(port)
         # The EWMA and the count correction describe the discarded
-        # queue; a reused port starts from an empty average.
+        # queue; a reused port starts from an empty average, and the
+        # coin-flip stream restarts deterministically.
         self._avg = 0.0
         self._count = 0
+        self._rng = self._derive_stream()
 
     @property
     def average_queue(self) -> float:
@@ -94,6 +143,18 @@ class RedMarker(Marker):
         return port.packet_count
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
+        # Classic RED idle correction: while the port sat idle the queue
+        # was empty, but no packets arrived to sample it, so the EWMA
+        # goes stale at its last (possibly high) value and would mark
+        # the first packets of a fresh burst.  Decay it as if m empty
+        # samples were taken, one per MTU transmission time of idleness
+        # (Floyd & Jacobson §11).  ``port.busy`` is the true idle signal
+        # — one-MTU gaps between back-to-back transmissions must not
+        # count (same discipline as MQ-ECN's T_idle reset).
+        if self.weight < 1.0 and self._avg > 0.0 and not port.busy:
+            idle = port.sim.now - port.last_departure
+            if idle > self._mtu_time:
+                self._avg *= (1.0 - self.weight) ** (idle / self._mtu_time)
         occupancy = self._occupancy(port, queue_index)
         self._avg += self.weight * (occupancy - self._avg)
         if self._avg < self.min_threshold:

@@ -114,6 +114,8 @@ class DynamicThresholdPool(BufferPool):
 class ServicePoolMarker(Marker):
     """Mark when the shared pool's total occupancy reaches the threshold."""
 
+    _THRESHOLD_FIELDS = ("threshold_packets",)
+
     def __init__(
         self,
         pool: BufferPool,
@@ -125,6 +127,13 @@ class ServicePoolMarker(Marker):
             raise ValueError("threshold cannot be negative")
         self.pool = pool
         self.threshold_packets = float(threshold_packets)
+
+    def _validate_thresholds(self, merged) -> None:
+        if merged["threshold_packets"] < 0:
+            raise ValueError("threshold cannot be negative")
+
+    def _apply_thresholds(self, changes) -> None:
+        self.threshold_packets = float(changes["threshold_packets"])
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
         return self.pool.packet_count >= self.threshold_packets

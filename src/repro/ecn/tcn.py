@@ -26,12 +26,17 @@ class TcnMarker(Marker):
     """Mark at dequeue when sojourn time exceeds the threshold."""
 
     supported_points = frozenset({MarkPoint.DEQUEUE})
+    _THRESHOLD_FIELDS = ("sojourn_threshold",)
 
     def __init__(self, sojourn_threshold: float):
         super().__init__(MarkPoint.DEQUEUE)
         if sojourn_threshold < 0:
             raise ValueError("sojourn threshold cannot be negative")
         self.sojourn_threshold = sojourn_threshold
+
+    def _validate_thresholds(self, merged) -> None:
+        if merged["sojourn_threshold"] < 0:
+            raise ValueError("sojourn threshold cannot be negative")
 
     def decide(self, port: "Port", queue_index: int, packet: Packet) -> bool:
         if packet.enqueue_time is None:  # pragma: no cover - port always stamps

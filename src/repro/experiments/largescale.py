@@ -23,6 +23,8 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from ..control.controller import (ControllerRuntime, ControllerSpec,
+                                  controller_enabled)
 from ..metrics.fct import FctCollector, SizeClass
 from ..metrics.stats import SummaryStats
 from ..net.topology import leaf_spine
@@ -173,20 +175,26 @@ def fct_point_spec(
     topology: str = "leaf-spine",
     fat_tree_k: int = 4,
     faults: Sequence[FaultSpec] = (),
+    controller: Optional[ControllerSpec] = None,
 ) -> ExperimentSpec:
     """The canonical identity of one §VI-B FCT point (store cache key).
 
     Everything that determines the row's numbers is in here — including
-    any injected :class:`~repro.sim.faults.FaultSpec` set, rendered to
-    canonical tuples so chaos points key differently from clean ones;
-    execution mechanics (worker count, profiler, cache location)
-    deliberately are not — see :class:`~repro.store.ExperimentSpec`.
+    any injected :class:`~repro.sim.faults.FaultSpec` set and any
+    :class:`~repro.control.ControllerSpec`, rendered to canonical tuples
+    so chaos and closed-loop points key differently from clean ones
+    (and a disabled controller keys exactly as before this layer
+    existed); execution mechanics (worker count, profiler, cache
+    location) deliberately are not — see
+    :class:`~repro.store.ExperimentSpec`.
     """
     params: Dict[str, Any] = {"topology": topology}
     if topology == "fat-tree":
         params["fat_tree_k"] = fat_tree_k
     if faults:
         params["faults"] = tuple(spec.to_param() for spec in faults)
+    if controller is not None:
+        params["controller"] = controller.to_param()
     return ExperimentSpec.create(
         "fct-point", scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -221,6 +229,8 @@ def run_fct_point(
     provenance_out: Optional[Dict[str, Any]] = None,
     faults: Optional[Sequence[FaultSpec]] = None,
     fault_stats_out: Optional[Dict[str, Any]] = None,
+    controller: Optional[ControllerSpec] = None,
+    controller_stats_out: Optional[Dict[str, Any]] = None,
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
@@ -241,7 +251,11 @@ def run_fct_point(
     layer (:mod:`repro.sim.faults`) over the fabric's links, seeded
     from the point's ``seed`` (None defers to the process default the
     CLI's ``--faults`` flag sets); ``fault_stats_out`` receives the
-    per-link drop breakdown afterwards.
+    per-link drop breakdown afterwards.  ``controller`` attaches a
+    closed-loop :class:`~repro.control.ControllerRuntime` retuning
+    marker thresholds on the spec's period (None defers to the process
+    default the CLI's ``--controller`` flag sets);
+    ``controller_stats_out`` receives its tick/change counters.
     """
     config = resolve_run_config(config, "run_fct_point",
                                 profile_events=profile_events, audit=audit)
@@ -290,6 +304,11 @@ def run_fct_point(
     if fault_specs:
         chaos = FaultScheduler(sim, fault_specs, seed=seed)
         chaos.apply(network)
+    controller = controller_enabled(controller)
+    runtime = None
+    if controller is not None:
+        runtime = ControllerRuntime(sim, network.all_marked_ports(),
+                                    controller.build(), controller.period)
     if size_distribution is None:
         size_distribution = PAPER_MIX.scaled(profile.size_scale)
         size_scale = profile.size_scale
@@ -302,9 +321,15 @@ def run_fct_point(
     flows = generator.generate(n_flows=profile.largescale_flows)
 
     collector = FctCollector(size_scale=size_scale)
+    want_rtt = runtime is not None and controller.wants_rtt
     for flow in flows:
-        config = scheme.transport_config(init_cwnd=16.0)
-        open_flow(network, flow, config, on_complete=collector.on_complete)
+        config = scheme.transport_config(init_cwnd=16.0, record_rtt=want_rtt)
+        handle = open_flow(network, flow, config,
+                           on_complete=collector.on_complete)
+        if want_rtt:
+            runtime.add_rtt_source(handle.sender)
+    if runtime is not None:
+        runtime.start()
 
     deadline = flows[-1].start_time + profile.time_cap
     chunk = max(profile.time_cap / 100.0, 1e-3)
@@ -314,6 +339,10 @@ def run_fct_point(
         auditor.verify_fabric()
     if chaos is not None and fault_stats_out is not None:
         fault_stats_out.update(chaos.stats())
+    if runtime is not None:
+        runtime.stop()
+        if controller_stats_out is not None:
+            controller_stats_out.update(runtime.stats())
 
     if profiler is not None:
         profiler.stop()
@@ -392,10 +421,10 @@ def _sweep_worker(point) -> FctRow:
     stays consistent at any ``--jobs`` level.
     """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit, cache_dir, force, faults) = point
+     audit, cache_dir, force, faults, controller) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
-                          audit=audit, faults=faults)
+                          audit=audit, faults=faults, controller=controller)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -404,7 +433,7 @@ def _sweep_worker(point) -> FctRow:
     row = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
         config=RunConfig(profile_events=profile_events, audit=audit),
-        provenance_out=provenance_out, faults=faults,
+        provenance_out=provenance_out, faults=faults, controller=controller,
     )
     if store is not None:
         store.put(spec, row.to_payload(), make_provenance(
@@ -427,6 +456,7 @@ def run_fct_sweep(
     config: Optional[RunConfig] = None,
     store: Optional[Union[RunStore, str]] = None,
     faults: Optional[Sequence[FaultSpec]] = None,
+    controller: Optional[ControllerSpec] = None,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
@@ -471,10 +501,11 @@ def run_fct_sweep(
     # each point so worker processes need not share this process's
     # defaults.
     fault_specs = faults_enabled(faults)
+    controller_spec = controller_enabled(controller)
     points = [
         (name, scheduler_name, load, profile, seed,
          config.profile_events, audit_enabled(config.audit),
-         cache_dir, force, fault_specs)
+         cache_dir, force, fault_specs, controller_spec)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..control.controller import (ControllerRuntime, ControllerSpec,
+                                  controller_enabled)
 from ..core.pmsb import PmsbMarker
 from ..core.pmsb_endhost import AcceptAllFilter, EcnFilter, RttEcnFilter
 from ..ecn.base import Marker, MarkPoint, NullMarker
@@ -212,6 +214,7 @@ def run_incast(
     faults: Optional[Sequence[FaultSpec]] = None,
     fault_seed: int = 0,
     shared_buffer: Optional[SharedBufferSpec] = None,
+    controller: Optional[ControllerSpec] = None,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
@@ -229,7 +232,11 @@ def run_incast(
     from ``fault_seed`` (None defers to the ``--faults`` process
     default).  ``shared_buffer`` gives the switch a
     :class:`~repro.net.sharedbuf.SharedBuffer` built from the spec (None
-    defers to the ``--shared-buffer`` process default).
+    defers to the ``--shared-buffer`` process default).  ``controller``
+    attaches a closed-loop :class:`~repro.control.ControllerRuntime`
+    retuning marker thresholds on the spec's period (None defers to the
+    ``--controller`` process default); controllers that consume RTT
+    force ``record_rtt`` on.
     """
     config = resolve_run_config(config, "run_incast",
                                 duration=duration, audit=audit)
@@ -250,6 +257,12 @@ def run_incast(
     if fault_specs:
         chaos = FaultScheduler(sim, fault_specs, seed=fault_seed)
         chaos.apply(network)
+    controller = controller_enabled(controller)
+    runtime = None
+    if controller is not None:
+        runtime = ControllerRuntime(sim, network.all_marked_ports(),
+                                    controller.build(), controller.period)
+        record_rtt = record_rtt or controller.wants_rtt
     meter = ThroughputMeter(sim, bin_width=duration / 100.0)
     meter.attach_port(network.bottleneck_port)
     trace = QueueOccupancyTrace(network.bottleneck_port) if trace_occupancy else None
@@ -261,7 +274,13 @@ def run_incast(
             record_rtt=record_rtt, rate_limit_bps=rate, init_cwnd=init_cwnd
         )
         handles.append(open_flow(network, flow, config))
+    if runtime is not None:
+        for handle in handles:
+            runtime.add_rtt_source(handle.sender)
+        runtime.start()
     sim.run(until=duration)
+    if runtime is not None:
+        runtime.stop()
     if auditor is not None:
         auditor.verify_fabric()
 

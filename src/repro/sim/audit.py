@@ -44,6 +44,12 @@ Validators
 - **ECN legality** (per hop): CE without ECT is always illegal, and a
   packet that enters a port unmarked may leave it marked only if that
   port's marker marks at dequeue.
+- **marker threshold boundary**: a marker's tunable thresholds may only
+  change through the :meth:`~repro.ecn.base.Marker.set_thresholds`
+  staging surface, whose commits land at packet boundaries and bump
+  ``threshold_epoch``.  Thresholds that differ between two datapath
+  events without an epoch bump — e.g. mutated raw between a packet's
+  enqueue decision and its dequeue decision — are a violation.
 - **engine hygiene**: a port whose ``_tx_event`` is cancelled or no
   longer in the heap (the wedged-port state left behind by
   :meth:`~repro.sim.engine.Simulator.clear` without
@@ -150,6 +156,7 @@ class _PortAudit:
         "base_occ_packets", "base_occ_bytes", "base_tx_packets",
         "base_tx_bytes", "base_drops", "base_delivered", "base_lost",
         "attach_delivered", "transit_ce", "link_drops",
+        "marker_epoch", "marker_thresholds",
     )
 
     def __init__(self, port: "Port"):
@@ -184,6 +191,11 @@ class _PortAudit:
         self.base_delivered = port.link.packets_delivered
         self.base_lost = port.link.packets_lost
         self.link_drops.clear()
+        #: Marker threshold snapshot + epoch: values that change while
+        #: the epoch stands still were mutated behind the staging
+        #: surface (the ``marker-threshold-boundary`` rule).
+        self.marker_epoch = port.marker.threshold_epoch
+        self.marker_thresholds = port.marker.thresholds()
 
 
 class FabricAuditor:
@@ -528,6 +540,25 @@ class FabricAuditor:
             self._fail("drop-counter", name,
                        ("port.drops delta", port.drops - state.base_drops),
                        ("drop events seen", state.drops), event)
+        # Threshold boundary: a marker's tunable parameters may change
+        # only through a set_thresholds() commit, which lands at a
+        # packet boundary and bumps threshold_epoch.  Values that
+        # differ from the last event's snapshot at an *unchanged* epoch
+        # were mutated raw — mid-packet, between a packet's enqueue
+        # decision and its dequeue decision, the decisions disagree
+        # about which scheme was in force.
+        marker = port.marker
+        epoch = marker.threshold_epoch
+        if epoch != state.marker_epoch:
+            state.marker_epoch = epoch
+            state.marker_thresholds = marker.thresholds()
+        else:
+            live = marker.thresholds()
+            if live != state.marker_thresholds:
+                self._fail("marker-threshold-boundary", name,
+                           ("thresholds at last boundary commit",
+                            state.marker_thresholds),
+                           ("thresholds now (no epoch bump)", live), event)
         # Port vs link: transmitted == delivered + lost.
         link = port.link
         delivered = link.packets_delivered - state.base_delivered

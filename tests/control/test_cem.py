@@ -1,0 +1,86 @@
+"""Unit tests for the cross-entropy grid optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.cem import cross_entropy_search
+
+GRID = (4.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+
+def bowl(k0, k1):
+    """Convex objective with a unique grid minimum at (12, 16)."""
+    return (k0 - 12.0) ** 2 + (k1 - 16.0) ** 2
+
+
+class TestCrossEntropySearch:
+    def test_finds_grid_minimum(self):
+        result = cross_entropy_search(bowl, GRID, seed=3, rounds=6,
+                                      population=16)
+        assert result.best == (12.0, 16.0)
+        assert result.best_score == 0.0
+
+    def test_deterministic_in_seed(self):
+        a = cross_entropy_search(bowl, GRID, seed=11)
+        b = cross_entropy_search(bowl, GRID, seed=11)
+        assert a.best == b.best
+        assert a.evaluated == b.evaluated
+        assert a.history == b.history
+
+    def test_each_candidate_evaluated_once(self):
+        calls = []
+
+        def spy(k0, k1):
+            calls.append((k0, k1))
+            return bowl(k0, k1)
+
+        result = cross_entropy_search(spy, GRID, seed=0, rounds=6,
+                                      population=12)
+        assert len(calls) == len(set(calls))
+        assert set(calls) == set(result.evaluated)
+
+    def test_preseed_skips_evaluation_and_counts_toward_best(self):
+        def never(k0, k1):
+            raise AssertionError("pre-seeded candidates must not re-run")
+
+        # Pre-seed every grid pair; one entry beats everything.
+        seeded = {(a, b): 100.0 for a in GRID for b in GRID}
+        seeded[(24.0, 24.0)] = -1.0
+        result = cross_entropy_search(never, GRID, seed=1, evaluated=seeded)
+        assert result.best == (24.0, 24.0)
+        assert result.best_score == -1.0
+
+    def test_preseed_diagonal_guarantees_match_or_beat(self):
+        # The autotune invariant: with the static diagonal pre-seeded,
+        # the winner can never score worse than the best static point.
+        diagonal = {(k, k): bowl(k, k) for k in GRID}
+        result = cross_entropy_search(bowl, GRID, seed=2,
+                                      evaluated=dict(diagonal))
+        assert result.best_score <= min(diagonal.values())
+
+    def test_ties_break_toward_smaller_candidate(self):
+        result = cross_entropy_search(lambda a, b: 0.0, GRID, seed=0,
+                                      rounds=4, population=16)
+        assert result.best == min(result.evaluated)
+
+    def test_single_point_grid(self):
+        result = cross_entropy_search(bowl, (8.0,), seed=0)
+        assert result.best == (8.0, 8.0)
+        assert result.n_evaluations == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy_search(bowl, (), seed=0)
+        with pytest.raises(ValueError):
+            cross_entropy_search(bowl, GRID, seed=0, rounds=0)
+        with pytest.raises(ValueError):
+            cross_entropy_search(bowl, GRID, seed=0, elite_frac=0.0)
+
+    def test_history_records_rounds(self):
+        result = cross_entropy_search(bowl, GRID, seed=4, rounds=3,
+                                      population=6)
+        assert 1 <= len(result.history) <= 3
+        for mean, std, candidate, score in result.history:
+            assert candidate in result.evaluated
+            assert result.evaluated[candidate] == score

@@ -119,3 +119,115 @@ class TestGeneralRed:
             return flags
 
         assert run(3) == run(3)
+
+
+def linear_region_flags(sim, port_name, seed, n=200):
+    """Coin-flip sequence of one RED port held in the linear region."""
+    from repro.sim.engine import Simulator
+    local_sim = Simulator()
+    marker = RedMarker(2, 500, weight=1.0, max_probability=0.3, seed=seed)
+    port = Port(local_sim, Link(local_sim, 1e9, 1e-6, Sink()),
+                FifoScheduler(1), marker, name=port_name)
+    flags = []
+    for seq in range(n):
+        packet = make_data(1, 0, 1, seq)
+        port.enqueue(packet, 0)
+        flags.append(packet.ce)
+    return flags
+
+
+class TestPerPortStreams:
+    """Regression: the coin-flip stream is derived per (seed, port name).
+
+    Before the fix every RED instance drew from ``default_rng(seed)``
+    with one hardcoded default, so every port in a fabric — and every
+    run at any seed left at the default — replayed the *same* flip
+    sequence.  The stream is now keyed like the fault layer's: base
+    seed mixed with the port-name digest.
+    """
+
+    def test_distinct_ports_decorrelate(self, sim):
+        a = linear_region_flags(sim, "sw0:up", seed=0)
+        b = linear_region_flags(sim, "sw1:up", seed=0)
+        assert a != b
+
+    def test_distinct_seeds_decorrelate(self, sim):
+        a = linear_region_flags(sim, "sw0:up", seed=0)
+        b = linear_region_flags(sim, "sw0:up", seed=1)
+        assert a != b
+
+    def test_same_identity_replays(self, sim):
+        # Same (seed, port name) → identical flips in any process, the
+        # property that keeps sweep results --jobs-invariant.
+        assert (linear_region_flags(sim, "sw0:up", seed=5)
+                == linear_region_flags(sim, "sw0:up", seed=5))
+
+    def test_reset_restarts_stream(self, sim):
+        marker = RedMarker(2, 500, weight=1.0, max_probability=0.3, seed=9)
+        port = make_port(sim, marker)
+
+        def flips(n):
+            flags = []
+            for seq in range(n):
+                packet = make_data(1, 0, 1, seq)
+                port.enqueue(packet, 0)
+                flags.append(packet.ce)
+            return flags
+
+        first = flips(100)
+        port.reset()
+        assert flips(100) == first
+
+
+class TestIdleDecay:
+    """Regression: the EWMA decays over idle time (Floyd & Jacobson §11).
+
+    Before the fix the average froze at its last value across idle
+    periods — a port that went idle after a burst would mark the first
+    packets of the next burst hours later.
+    """
+
+    def burst(self, port, n, start_seq=0):
+        packets = [make_data(1, 0, 1, start_seq + s) for s in range(n)]
+        for packet in packets:
+            port.enqueue(packet, 0)
+        return packets
+
+    def test_burst_idle_burst_does_not_mark(self, sim):
+        marker = RedMarker(2, 4, max_probability=1.0, weight=0.5)
+        port = make_port(sim, marker)
+        first = self.burst(port, 8)
+        assert any(p.ce for p in first)  # the burst did drive the EWMA up
+        sim.run()  # drain; the port goes idle
+        assert marker.average_queue >= marker.max_threshold
+        sim.schedule(10e-3, lambda: None)
+        sim.run()  # 10 ms of idleness ≈ 800 idle samples at 1 Gbps
+        probe = self.burst(port, 1, start_seq=100)[0]
+        assert probe.ce is False
+        assert marker.average_queue < marker.min_threshold
+
+    def test_no_decay_while_busy(self, sim):
+        # Back-to-back transmissions keep the port busy; the idle
+        # correction must not fire between them (port.busy gates it).
+        marker = RedMarker(2, 4, max_probability=1.0, weight=0.5)
+        port = make_port(sim, marker)
+        self.burst(port, 8)
+        average_before = marker.average_queue
+        # Advance one packet's transmission: still busy draining.
+        sim.run(until=sim.now + 13e-6)
+        assert port.busy
+        probe = self.burst(port, 1, start_seq=50)[0]
+        assert marker.average_queue > average_before * 0.5
+        assert probe.ce is True
+
+    def test_instantaneous_weight_never_decays(self, sim):
+        # weight=1 (the DCTCP profile) has no EWMA memory to decay; the
+        # guard keeps the idle path out of the hot branch entirely.
+        marker = RedMarker.dctcp_profile(threshold_packets=3)
+        port = make_port(sim, marker)
+        self.burst(port, 5)
+        sim.run()
+        sim.schedule(10e-3, lambda: None)
+        sim.run()
+        packets = self.burst(port, 4, start_seq=100)
+        assert [p.ce for p in packets] == [False, False, True, True]
