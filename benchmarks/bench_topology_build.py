@@ -1,0 +1,203 @@
+"""Engineering benchmark — parametric topology generator build cost.
+
+Not a paper artifact: prices the :class:`~repro.net.topology.ClosGenerator`
+against the hand-wired ``leaf_spine`` builder it replaced.  The
+pre-redesign builder is inlined below verbatim (minus the shared-buffer
+plumbing, which is off in both legs) so the comparison survives the old
+code's deletion: both legs build the paper's 4×4×12 leaf-spine fabric
+with the same scheduler/marker factories, interleaved in one process so
+machine noise hits both equally.  ``REPRO_TOPOLOGY_BUILD_GATE`` (default
+1.10) caps the generator/legacy median build-time ratio — the
+declarative API is allowed to cost a dispatch layer, not a rewrite of
+the hot loop.
+
+The second half walks the X-SCALE ladder (48 → 1024 hosts) and records
+wall-clock build time plus tracemalloc peak per rung in
+``BENCH_topology.json``, so fabric-generation cost at 1k-host scale is a
+tracked number rather than folklore.
+"""
+
+import gc
+import json
+import os
+import tracemalloc
+from pathlib import Path
+from statistics import median
+from time import perf_counter
+
+from conftest import heading
+
+from repro.core.pmsb import PmsbMarker
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.port import Port
+from repro.net.switch import Switch
+from repro.net.topology import (DEFAULT_BUFFER_PACKETS, DEFAULT_LINK_DELAY,
+                                Network, TopologySpec)
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.ecn.base import NullMarker
+from repro.experiments.xscale import SCALE_LADDER
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_topology.json"
+TRIAL_PAIRS = 7
+
+PAPER_SPEC = TopologySpec.parse("leaf-spine:leaf=4,spine=4,hosts=12")
+
+
+def _factories():
+    return lambda: DwrrScheduler(2), lambda: PmsbMarker(16.0)
+
+
+def _legacy_leaf_spine(sim, scheduler_factory, marker_factory,
+                       n_leaf=4, n_spine=4, hosts_per_leaf=12,
+                       link_rate=10e9, link_delay=DEFAULT_LINK_DELAY,
+                       buffer_packets=DEFAULT_BUFFER_PACKETS):
+    """The pre-redesign hand-wired builder, inlined as the A/B reference."""
+    network = Network(sim)
+    n_hosts = n_leaf * hosts_per_leaf
+    hosts = [Host(sim, i) for i in range(n_hosts)]
+    network.hosts = hosts
+    leaves = [Switch(sim, name=f"leaf{i}", ecmp_salt=1000 + i)
+              for i in range(n_leaf)]
+    spines = [Switch(sim, name=f"spine{i}", ecmp_salt=2000 + i)
+              for i in range(n_spine)]
+    network.switches = leaves + spines
+
+    def managed_port(link, name):
+        return Port(sim, link, scheduler_factory(), marker_factory(),
+                    buffer_packets=buffer_packets, name=name)
+
+    def plain_port(link, name):
+        return Port(sim, link, FifoScheduler(), NullMarker(),
+                    buffer_packets=buffer_packets, name=name)
+
+    for leaf_index, leaf in enumerate(leaves):
+        for slot in range(hosts_per_leaf):
+            host = hosts[leaf_index * hosts_per_leaf + slot]
+            up = Link(sim, link_rate, link_delay, leaf,
+                      name=f"{host.name}->{leaf.name}")
+            host.attach_nic(plain_port(up, f"{host.name}:nic"))
+            down = Link(sim, link_rate, link_delay, host,
+                        name=f"{leaf.name}->{host.name}")
+            port_index = leaf.add_port(
+                managed_port(down, f"{leaf.name}:to_{host.name}"))
+            leaf.set_route(host.host_id, [port_index])
+
+    uplink_indices = [[] for _ in range(n_leaf)]
+    for leaf_index, leaf in enumerate(leaves):
+        for spine in spines:
+            up = Link(sim, link_rate, link_delay, spine,
+                      name=f"{leaf.name}->{spine.name}")
+            uplink_indices[leaf_index].append(leaf.add_port(
+                managed_port(up, f"{leaf.name}:to_{spine.name}")))
+            down = Link(sim, link_rate, link_delay, leaf,
+                        name=f"{spine.name}->{leaf.name}")
+            down_index = spine.add_port(
+                managed_port(down, f"{spine.name}:to_{leaf.name}"))
+            for slot in range(hosts_per_leaf):
+                spine.set_route(leaf_index * hosts_per_leaf + slot,
+                                [down_index])
+
+    for leaf_index, leaf in enumerate(leaves):
+        for host in hosts:
+            if host.host_id // hosts_per_leaf != leaf_index:
+                leaf.set_route(host.host_id, uplink_indices[leaf_index])
+    return network
+
+
+def _time_build(build):
+    gc.collect()
+    start = perf_counter()
+    network = build(Simulator())
+    elapsed = perf_counter() - start
+    return network, elapsed
+
+
+def _spec_build(spec):
+    sched, marker = _factories()
+    return lambda sim: spec.build(sim, sched, marker)
+
+
+def _legacy_build():
+    sched, marker = _factories()
+    return lambda sim: _legacy_leaf_spine(sim, sched, marker)
+
+
+def _fabric_fingerprint(network):
+    """Everything result-relevant: names, salts, port order, routes."""
+    return [
+        (sw.name, sw.ecmp_salt,
+         tuple(port.name for port in sw.ports),
+         tuple(sorted((dst, tuple(group))
+                      for dst, group in sw.routes.items())))
+        for sw in network.switches
+    ]
+
+
+def test_generator_matches_legacy_and_gate():
+    """The generator rebuilds the legacy fabric and stays within the gate.
+
+    Structural identity (same switch names, salts, port-add order, ECMP
+    groups) is asserted outright — it is the byte-identity contract the
+    differential tests pin at the result level.  Build time is gated:
+    generator median <= REPRO_TOPOLOGY_BUILD_GATE x legacy median.
+    """
+    legacy_net, _ = _time_build(_legacy_build())
+    spec_net, _ = _time_build(_spec_build(PAPER_SPEC))
+    assert _fabric_fingerprint(spec_net) == _fabric_fingerprint(legacy_net)
+    assert len(spec_net.hosts) == 48
+
+    legacy_times, spec_times = [], []
+    for _ in range(TRIAL_PAIRS):
+        _, elapsed = _time_build(_legacy_build())
+        legacy_times.append(elapsed)
+        _, elapsed = _time_build(_spec_build(PAPER_SPEC))
+        spec_times.append(elapsed)
+    legacy_ms = median(legacy_times) * 1e3
+    spec_ms = median(spec_times) * 1e3
+    ratio = spec_ms / legacy_ms
+
+    ladder = []
+    for text, expected_hosts in SCALE_LADDER:
+        spec = TopologySpec.parse(text)
+        network, elapsed = _time_build(_spec_build(spec))
+        assert len(network.hosts) == expected_hosts
+        gc.collect()
+        tracemalloc.start()
+        network = _spec_build(spec)(Simulator())
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        ladder.append({
+            "topology": text,
+            "hosts": len(network.hosts),
+            "switches": len(network.switches),
+            "build_ms": round(elapsed * 1e3, 2),
+            "peak_mib": round(peak / 2**20, 1),
+        })
+        del network
+
+    record = {
+        "benchmark": "fabric build time, DWRR(2)+PMSB ports, no traffic",
+        "trials_per_mode": TRIAL_PAIRS,
+        "legacy_leaf_spine_ms": round(legacy_ms, 2),
+        "generator_leaf_spine_ms": round(spec_ms, 2),
+        "generator_over_legacy": round(ratio, 3),
+        "ladder": ladder,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    heading("Topology generator — build cost vs the hand-wired builder")
+    print(f"legacy {legacy_ms:.2f} ms | generator {spec_ms:.2f} ms "
+          f"(x{ratio:.3f})")
+    for rung in ladder:
+        print(f"{rung['hosts']:5d} hosts {rung['switches']:4d} sw "
+              f"{rung['build_ms']:8.2f} ms {rung['peak_mib']:6.1f} MiB "
+              f"({rung['topology']})")
+
+    gate = float(os.environ.get("REPRO_TOPOLOGY_BUILD_GATE", "1.10"))
+    assert ratio <= gate, (
+        f"generator builds the paper fabric {ratio:.3f}x slower than the "
+        f"hand-wired builder (gate {gate}x)")

@@ -9,18 +9,22 @@ transport, datacenter workloads, and the paper's experiment harness.
 
 Quickstart::
 
-    from repro import (Simulator, single_bottleneck, PmsbMarker,
+    from repro import (Simulator, TopologySpec, PmsbMarker,
                        DwrrScheduler, Flow, open_flow)
 
     sim = Simulator()
-    net = single_bottleneck(
-        sim, n_senders=9,
+    net = TopologySpec.parse("single-bottleneck:senders=9").build(
+        sim,
         scheduler_factory=lambda: DwrrScheduler(2),
         marker_factory=lambda: PmsbMarker(port_threshold_packets=16),
     )
     handles = [open_flow(net, Flow(src=i, dst=9, service=0 if i == 0 else 1))
                for i in range(9)]
     sim.run(until=0.1)
+
+Any folded-Clos fabric is one spec away — e.g.
+``TopologySpec.parse("clos:tiers=3,ports=16")`` builds a 1024-host
+fat-tree with derived ECMP routes.
 """
 
 from .core import (
@@ -59,6 +63,7 @@ from .metrics import (
     summarize,
 )
 from .net import (
+    ClosGenerator,
     Host,
     Link,
     MTU_BYTES,
@@ -66,6 +71,8 @@ from .net import (
     Packet,
     Port,
     Switch,
+    TopologySpec,
+    fat_tree,
     leaf_spine,
     single_bottleneck,
 )
@@ -99,6 +106,7 @@ __all__ = [
     "BufferPool",
     "CAPABILITIES",
     "ClassicEcnSender",
+    "ClosGenerator",
     "DctcpConfig",
     "DctcpReceiver",
     "DctcpSender",
@@ -144,11 +152,13 @@ __all__ = [
     "Switch",
     "TcnMarker",
     "ThroughputMeter",
+    "TopologySpec",
     "WEB_SEARCH",
     "WfqScheduler",
     "WrrScheduler",
     "bdp_packets",
     "capability_table",
+    "fat_tree",
     "fractional_thresholds",
     "leaf_spine",
     "make_rng",

@@ -15,6 +15,8 @@
     python -m repro chaos3 --loss-rates 0 0.001 0.01
     python -m repro chaos-sweep --profile tiny --model gilbert-elliott
     python -m repro fig3 --faults iid-loss:rate=0.001,links=bottleneck
+    python -m repro sweep --topology clos:tiers=2,ports=16,oversub=2
+    python -m repro xscale --profile tiny     # victim error, 48-1024 hosts
 
 Every experiment command accepts the same execution flags —
 ``--json/--csv/--duration/--profile/--jobs/--audit`` — spelled
@@ -38,18 +40,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import asdict, replace
-from typing import Any, List, Optional
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, List, Optional
 
 from .control.controller import ControllerSpec, set_controller_default
 from .core.capabilities import capability_table
 from .experiments import (ablations, analysis_validation, autotune, chaos,
                           extensions, largescale, marking_point, motivation,
-                          sharedbuf, static_flows)
+                          sharedbuf, static_flows, xscale)
 from .experiments.scale import BENCH, PAPER, TINY
 from .metrics.export import rows_to_csv, to_json
 from .metrics.fct import SizeClass
 from .net.sharedbuf import SharedBufferSpec, set_shared_buffer_default
+from .net.topology import TopologySpec, set_topology_default
 from .sim.audit import set_audit_default
 from .sim.faults import FaultSpec, set_fault_default
 from .store import RunConfig, RunStore, diff_records
@@ -61,6 +64,97 @@ PROFILES = {"tiny": TINY, "bench": BENCH, "paper": PAPER}
 #: Where ``repro runs`` looks when ``--cache-dir`` is not given — the
 #: same directory a bare ``sweep --cache-dir .repro-cache`` writes.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class SpecFlag:
+    """One ``--flag name:key=val,…`` spec option every experiment
+    command shares.
+
+    Each instance declares the argparse option, parses its text into
+    the spec object, and flips the matching process-wide default around
+    the command (restored in a ``finally``), so every simulation the
+    command builds — however deep inside experiment helpers — sees the
+    requested spec.  Parse failures surface uniformly as
+    ``--flag: <reason>`` via ``parser.error``.
+    """
+
+    flag: str
+    dest: str
+    help: str
+    parse: Callable[[str], Any]
+    set_default: Callable[[Any], None]
+    #: ``append`` flags collect a tuple of specs; the rest hold one.
+    repeatable: bool = False
+    #: Value handed to ``set_default`` when restoring.
+    cleared: Any = None
+
+    def add_to(self, parser: argparse.ArgumentParser) -> None:
+        if self.repeatable:
+            parser.add_argument(self.flag, action="append",
+                                metavar="SPEC", help=self.help)
+        else:
+            parser.add_argument(self.flag, metavar="SPEC", default=None,
+                                help=self.help)
+
+    def resolve(self, args) -> Any:
+        """Parse this flag's text(s) off ``args`` (ValueError on bad
+        input); None / () when the flag was not given."""
+        value = getattr(args, self.dest, None)
+        if self.repeatable:
+            return tuple(self.parse(text) for text in (value or ()))
+        return self.parse(value) if value else None
+
+    def apply(self, spec: Any) -> bool:
+        """Install ``spec`` as the process default; True if installed."""
+        if spec is None or spec == ():
+            return False
+        self.set_default(spec)
+        return True
+
+    def clear(self) -> None:
+        self.set_default(self.cleared)
+
+
+SPEC_FLAGS = (
+    SpecFlag(
+        flag="--shared-buffer", dest="shared_buffer",
+        parse=SharedBufferSpec.parse,
+        set_default=set_shared_buffer_default,
+        help="give every switch the command builds a shared memory all "
+             "its ports draw from; SPEC is policy:key=val,key=val with "
+             "policies complete / static / dt / bshare, e.g. "
+             "'dt:capacity=200,alpha=2' or "
+             "'bshare:capacity=128,target_delay=100e-6'",
+    ),
+    SpecFlag(
+        flag="--faults", dest="faults", repeatable=True, cleared=(),
+        parse=FaultSpec.parse, set_default=set_fault_default,
+        help="inject a fault into every fabric the command builds; SPEC "
+             "is model:key=val,key=val with models iid-loss / "
+             "gilbert-elliott / crc-corrupt / flap, e.g. "
+             "'iid-loss:rate=0.001,links=leaf*->spine*' or "
+             "'flap:links=bottleneck,down=0.01,up=0.02' (repeatable)",
+    ),
+    SpecFlag(
+        flag="--controller", dest="controller",
+        parse=ControllerSpec.parse, set_default=set_controller_default,
+        help="attach a closed-loop threshold controller to every fabric "
+             "the command builds; SPEC is name:key=val,key=val with "
+             "controllers theorem / cem, e.g. "
+             "'theorem:period=0.0005,margin=1.5' or "
+             "'cem:t1=0.01,k0=12,k1=24'",
+    ),
+    SpecFlag(
+        flag="--topology", dest="topology",
+        parse=TopologySpec.parse, set_default=set_topology_default,
+        help="build every fabric the command uses from this declarative "
+             "spec; SPEC is preset:key=val,key=val with presets "
+             "single-bottleneck / leaf-spine / fat-tree / clos, e.g. "
+             "'clos:tiers=2,ports=16,oversub=2' (256 hosts), "
+             "'clos:tiers=3,ports=16' (1024 hosts) or 'fat-tree:k=8'",
+    ),
+)
 
 
 def _us(seconds: float) -> str:
@@ -456,6 +550,32 @@ def cmd_autotune(args) -> Any:
     return report.to_payload()
 
 
+def cmd_xscale(args) -> Any:
+    profile = _profile(args) or BENCH
+    config = RunConfig(
+        profile=profile,
+        seed=args.seed,
+        jobs=args.jobs,
+        audit=True if args.audit else None,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+    rows = xscale.run_xscale_sweep(
+        scheme_names=tuple(args.schemes),
+        scheduler_name=args.scheduler,
+        ladder=tuple(args.ladder) if args.ladder else xscale.SCALE_LADDER,
+        hogs=args.hogs,
+        config=config,
+    )
+    print(f"{'hosts':>6s} {'fabric':30s} {'scheme':10s} {'victim':>7s} "
+          f"{'hogs':>7s} {'err':>6s} {'build':>8s}")
+    for row in rows:
+        print(f"{row.n_hosts:6d} {row.topology:30s} {row.scheme:10s} "
+              f"{row.victim_gbps:6.2f}G {row.hogs_gbps:6.2f}G "
+              f"{row.victim_err:6.3f} {row.build_s * 1e3:6.1f}ms")
+    return rows
+
+
 def cmd_coexist(args) -> Any:
     config = RunConfig(duration=_duration(args))
     baseline = extensions.pmsbe_coexistence(False, config=config)
@@ -501,10 +621,12 @@ COMMANDS = {
                   "X-SHAREDBUF — buffer-contention sweep (DT + BShare)"),
     "autotune": (cmd_autotune,
                  "X-AUTOTUNE — static vs closed-loop PMSB thresholds"),
+    "xscale": (cmd_xscale,
+               "X-SCALE — victim-flow error vs fabric size (48-1024)"),
 }
 
 #: Commands that understand the run-store cache flags.
-_STORE_BACKED = ("sweep", "chaos-sweep", "sharedbuf", "autotune")
+_STORE_BACKED = ("sweep", "chaos-sweep", "sharedbuf", "autotune", "xscale")
 
 
 # -- run-store maintenance commands ------------------------------------------
@@ -533,6 +655,34 @@ def _resolve_record(store: RunStore, key_prefix: str):
     return matches[0]
 
 
+def _elide_params(params: Any, budget: int = 44) -> str:
+    """Render a spec's params as key-sorted ``k=v`` cells that fit
+    ``budget`` columns.
+
+    Entries are dropped whole — never cut mid-key or mid-value — and
+    the elision is explicit: ``alpha=2,policy=dt +3 more``.  The first
+    entry always prints, even when it alone blows the budget, so every
+    row names at least one parameter.
+    """
+    if isinstance(params, (list, tuple)):
+        params = dict(params)
+    if not params:
+        return "-"
+    items = [f"{key}={params[key]}" for key in sorted(params)]
+    cell = items[0]
+    shown = 1
+    for item in items[1:]:
+        trial = f"{cell},{item}"
+        # Reserve room for a worst-case " +NN more" tail.
+        if len(trial) + 9 > budget:
+            break
+        cell = trial
+        shown += 1
+    if shown < len(items):
+        cell += f" +{len(items) - shown} more"
+    return cell
+
+
 def cmd_runs_list(args) -> int:
     store = RunStore(args.cache_dir)
     records = list(store.records())
@@ -540,7 +690,8 @@ def cmd_runs_list(args) -> int:
         print(f"[no records under {store.root}]")
         return 0
     print(f"{'key':12s} {'experiment':12s} {'scheme':10s} {'sched':5s} "
-          f"{'load':>5s} {'seed':>10s} {'profile':8s} {'elapsed':>9s}")
+          f"{'load':>5s} {'seed':>10s} {'profile':8s} {'elapsed':>9s} "
+          f"{'params':s}")
     for record in records:
         spec = record.spec
         elapsed = record.provenance.get("elapsed_s")
@@ -549,7 +700,8 @@ def cmd_runs_list(args) -> int:
               f"{spec.get('scheduler', '-'):5s} "
               f"{spec.get('load', 0.0):5.2f} {spec.get('seed', 0):10d} "
               f"{record.provenance.get('profile', '-'):8s} "
-              f"{f'{elapsed:8.2f}s' if elapsed is not None else '       --'}")
+              f"{f'{elapsed:8.2f}s' if elapsed is not None else '       --'} "
+              f"{_elide_params(spec.get('params'))}")
     print(f"[{len(records)} record(s) under {store.root}]")
     return 0
 
@@ -619,29 +771,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the fabric invariant auditor "
                              "(cross-layer conservation checks; raises "
                              "on the first violation)")
-    common.add_argument("--shared-buffer", metavar="SPEC", default=None,
-                        help="give every switch the command builds a "
-                             "shared memory all its ports draw from; "
-                             "SPEC is policy:key=val,key=val with "
-                             "policies complete / static / dt / bshare, "
-                             "e.g. 'dt:capacity=200,alpha=2' or "
-                             "'bshare:capacity=128,target_delay=100e-6'")
-    common.add_argument("--faults", action="append", metavar="SPEC",
-                        help="inject a fault into every fabric the "
-                             "command builds; SPEC is "
-                             "model:key=val,key=val with models "
-                             "iid-loss / gilbert-elliott / crc-corrupt "
-                             "/ flap, e.g. "
-                             "'iid-loss:rate=0.001,links=leaf*->spine*' "
-                             "or 'flap:links=bottleneck,down=0.01,"
-                             "up=0.02' (repeatable)")
-    common.add_argument("--controller", metavar="SPEC", default=None,
-                        help="attach a closed-loop threshold controller "
-                             "to every fabric the command builds; SPEC "
-                             "is name:key=val,key=val with controllers "
-                             "theorem / cem, e.g. "
-                             "'theorem:period=0.0005,margin=1.5' or "
-                             "'cem:t1=0.01,k0=12,k1=24'")
+    for spec_flag in SPEC_FLAGS:
+        spec_flag.add_to(common)
 
     store_dir = argparse.ArgumentParser(add_help=False)
     store_dir.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -714,6 +845,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="BShare queueing-delay targets in "
                                   "seconds (default: "
                                   f"{' '.join(str(d) for d in sharedbuf.DEFAULT_TARGET_DELAYS)})")
+        if name == "xscale":
+            cmd.add_argument("--schemes", nargs="+",
+                             default=list(xscale.XSCALE_SCHEMES),
+                             help="marking schemes to compare "
+                                  f"(default: "
+                                  f"{' '.join(xscale.XSCALE_SCHEMES)})")
+            cmd.add_argument("--hogs", type=int, default=8,
+                             help="hog flows crushing the victim's "
+                                  "downlink (default: 8)")
+            cmd.add_argument("--ladder", nargs="+", metavar="SPEC",
+                             help="topology specs to walk instead of "
+                                  "the built-in 48-1024 host Clos "
+                                  "ladder, e.g. "
+                                  "'clos:tiers=2,ports=16,oversub=2'")
         if name == "autotune":
             cmd.add_argument("--grid", type=float, nargs="+",
                              default=list(autotune.DEFAULT_GRID),
@@ -786,40 +931,29 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         if (args.resume or args.force) and not args.cache_dir:
             parser.error("--resume/--force require --cache-dir")
     fn, _help = COMMANDS[args.command]
-    try:
-        fault_specs = tuple(
-            FaultSpec.parse(text)
-            for text in (getattr(args, "faults", None) or ()))
-        sb_text = getattr(args, "shared_buffer", None)
-        sb_spec = SharedBufferSpec.parse(sb_text) if sb_text else None
-        ctl_text = getattr(args, "controller", None)
-        ctl_spec = ControllerSpec.parse(ctl_text) if ctl_text else None
-    except ValueError as exc:
-        parser.error(str(exc))
+    resolved = []
+    for spec_flag in SPEC_FLAGS:
+        try:
+            resolved.append((spec_flag, spec_flag.resolve(args)))
+        except ValueError as exc:
+            parser.error(f"{spec_flag.flag}: {exc}")
     audit_on = getattr(args, "audit", False)
     # Flip the process-wide defaults so every simulation the command
     # builds — including ones created deep inside experiment helpers —
-    # attaches a FabricAuditor / injects the requested faults / draws
-    # every switch's ports from a shared buffer.
+    # attaches a FabricAuditor / injects the requested faults / builds
+    # the requested fabric / draws every switch's ports from a shared
+    # buffer.
     if audit_on:
         set_audit_default(True)
-    if fault_specs:
-        set_fault_default(fault_specs)
-    if sb_spec is not None:
-        set_shared_buffer_default(sb_spec)
-    if ctl_spec is not None:
-        set_controller_default(ctl_spec)
+    applied = [spec_flag for spec_flag, value in resolved
+               if spec_flag.apply(value)]
     try:
         payload = fn(args)
     finally:
         if audit_on:
             set_audit_default(False)
-        if fault_specs:
-            set_fault_default(())
-        if sb_spec is not None:
-            set_shared_buffer_default(None)
-        if ctl_spec is not None:
-            set_controller_default(None)
+        for spec_flag in applied:
+            spec_flag.clear()
     if payload is not None:
         _maybe_export(args, payload)
     return 0

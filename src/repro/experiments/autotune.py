@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..control.cem import CemResult, cross_entropy_search
 from ..control.controller import ControllerRuntime, ControllerSpec
 from ..metrics.fct import FctCollector, SizeClass
-from ..net.topology import leaf_spine
+from ..net.topology import TopologySpec
 from ..sim.audit import FabricAuditor
 from ..sim.engine import Simulator
 from ..sim.faults import FaultScheduler, FaultSpec
@@ -47,7 +47,9 @@ from ..store.spec import ExperimentSpec
 from ..transport.endpoints import open_flow
 from ..workloads.distributions import PAPER_MIX
 from ..workloads.generator import PoissonFlowGenerator
-from .largescale import N_SERVICES, _make_scheduler_factory, largescale_scheme
+from .largescale import (N_SERVICES, _make_scheduler_factory,
+                         largescale_scheme, resolve_fct_topology,
+                         topology_params)
 from .scale import BENCH, ScaleProfile
 
 __all__ = ["AutotuneRow", "AutotuneReport", "autotune_point_spec",
@@ -115,19 +117,30 @@ def autotune_point_spec(
     seed: int,
     chaos: bool = False,
     audit: bool = False,
+    topology: "Union[str, TopologySpec, None]" = None,
 ) -> ExperimentSpec:
     """Content address of one candidate evaluation.
 
     ``t_shift`` is *derived* (from the seed's phase-A arrivals), so it
     deliberately stays out of the key; the controller period is pinned
-    here so a future period change invalidates old cache entries.
+    here so a future period change invalidates old cache entries.  The
+    historical default fabric (the profile's leaf-spine) adds no
+    topology params, so pre-existing cache keys are untouched; any
+    explicit non-default :class:`~repro.net.topology.TopologySpec`
+    re-keys its points.
     """
+    params: Dict[str, Any] = {"k0": float(k0), "k1": float(k1),
+                              "load_hi": float(load_hi),
+                              "chaos": bool(chaos),
+                              "period": CONTROLLER_PERIOD}
+    if topology is not None:
+        topo = resolve_fct_topology(topology)
+        if not topo.is_default:
+            params.update(topology_params(topo))
     return ExperimentSpec.create(
         "autotune-point", scheme="pmsb", scheduler=scheduler_name,
         load=load_lo, seed=seed, profile=profile, audit=audit,
-        params={"k0": float(k0), "k1": float(k1),
-                "load_hi": float(load_hi), "chaos": bool(chaos),
-                "period": CONTROLLER_PERIOD},
+        params=params,
     )
 
 
@@ -142,19 +155,20 @@ def run_autotune_point(
     chaos: bool = False,
     audit: bool = False,
     provenance_out: Optional[Dict[str, Any]] = None,
+    topology: "Union[str, TopologySpec, None]" = None,
 ) -> AutotuneRow:
     """Simulate one schedule candidate on the two-phase workload."""
     if profile is None:
         profile = BENCH
     wall_start = time.perf_counter()
-    scheme = largescale_scheme("pmsb", profile.link_rate, base_rtt_hops=4)
+    topo = resolve_fct_topology(topology)
+    scheme = largescale_scheme("pmsb", profile.link_rate,
+                               base_rtt_hops=topo.base_rtt_hops)
     sim = Simulator()
     auditor = FabricAuditor(sim) if audit else None
-    n_leaf, n_spine, hosts_per_leaf = profile.fabric
-    network = leaf_spine(
+    network = topo.build(
         sim, _make_scheduler_factory(scheduler_name), scheme.marker_factory,
-        n_leaf=n_leaf, n_spine=n_spine, hosts_per_leaf=hosts_per_leaf,
-        link_rate=profile.link_rate,
+        default_fabric=profile.fabric, link_rate=profile.link_rate,
     )
     if auditor is not None:
         auditor.attach_network(network)
@@ -231,10 +245,11 @@ def _autotune_worker(point) -> AutotuneRow:
     on one key write identical bytes.
     """
     (k0, k1, scheduler_name, load_lo, load_hi, profile, seed, chaos,
-     audit, cache_dir, force) = point
+     audit, cache_dir, force, topology) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = autotune_point_spec(k0, k1, scheduler_name, load_lo, load_hi,
-                               profile, seed, chaos=chaos, audit=audit)
+                               profile, seed, chaos=chaos, audit=audit,
+                               topology=topology)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -243,6 +258,7 @@ def _autotune_worker(point) -> AutotuneRow:
     row = run_autotune_point(
         k0, k1, scheduler_name, load_lo, load_hi, profile, seed,
         chaos=chaos, audit=audit, provenance_out=provenance_out,
+        topology=topology,
     )
     if store is not None:
         store.put(spec, row.to_payload(), make_provenance(
@@ -295,6 +311,7 @@ def run_autotune(
     store: Optional[Union[RunStore, str]] = None,
     audit: bool = False,
     force: bool = False,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> AutotuneReport:
     """Static sweep + cross-entropy search over the schedule plane.
 
@@ -314,10 +331,11 @@ def run_autotune(
     cache_dir = (store.root if isinstance(store, RunStore)
                  else os.fspath(store) if store else None)
     grid = tuple(sorted(set(float(k) for k in grid)))
+    topology_spec = resolve_fct_topology(topology)
 
     def point(k0: float, k1: float):
         return (k0, k1, scheduler_name, load_lo, load_hi, profile, seed,
-                chaos, audit, cache_dir, force)
+                chaos, audit, cache_dir, force, topology_spec)
 
     diagonal = [point(k, k) for k in grid]
     static_rows = run_parallel(diagonal, _autotune_worker, jobs=jobs)

@@ -34,8 +34,10 @@ from ..sim.faults import FaultSpec, loss_spec
 from ..store.runstore import RunStore, make_provenance
 from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
                           resolve_run_config)
+from ..net.topology import TopologySpec
 from . import largescale
-from .largescale import FctRow, run_fct_point
+from .largescale import (FctRow, resolve_fct_topology, run_fct_point,
+                         topology_params)
 from .scale import BENCH, ScaleProfile
 from .scenario import incast_flows, make_scheme, run_incast
 
@@ -217,20 +219,24 @@ def chaos_point_spec(
     model: str,
     loss_rate: float,
     audit: bool = False,
+    topology: "Union[str, TopologySpec, None]" = None,
 ) -> ExperimentSpec:
     """The canonical identity of one chaos FCT point (store cache key).
 
     The full fault set is rendered into the params — alongside the
     human-readable ``model``/``loss_rate`` knobs — so any change to how
     :func:`chaos_faults` shapes a model re-keys the affected points.
+    Default topologies render to the historical ``"leaf-spine"`` param,
+    keeping pre-redesign keys unchanged (see
+    :func:`~repro.experiments.largescale.topology_params`).
     """
     faults = chaos_faults(model, loss_rate)
-    params: Dict[str, Any] = {
-        "topology": "leaf-spine",
+    params: Dict[str, Any] = topology_params(topology)
+    params.update({
         "model": model,
         "loss_rate": loss_rate,
         "faults": tuple(spec.to_param() for spec in faults),
-    }
+    })
     return ExperimentSpec.create(
         CHAOS_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -248,10 +254,11 @@ def _chaos_worker(point) -> ChaosFctRow:
     freshly computed points.
     """
     (scheme_name, scheduler_name, load, profile, seed, model, loss_rate,
-     audit, cache_dir, force) = point
+     audit, cache_dir, force, topology) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = chaos_point_spec(scheme_name, scheduler_name, load, profile,
-                            seed, model, loss_rate, audit=audit)
+                            seed, model, loss_rate, audit=audit,
+                            topology=topology)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -260,6 +267,7 @@ def _chaos_worker(point) -> ChaosFctRow:
     fault_stats: Dict[str, Any] = {}
     fct = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
+        topology=topology,
         config=RunConfig(audit=audit),
         provenance_out=provenance_out,
         faults=chaos_faults(model, loss_rate),
@@ -289,6 +297,7 @@ def run_chaos_sweep(
     seed: Optional[int] = None,
     config: Optional[RunConfig] = None,
     store: Optional[Union[RunStore, str]] = None,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> List[ChaosFctRow]:
     """The chaos matrix: every scheme × load × loss rate.
 
@@ -316,9 +325,10 @@ def run_chaos_sweep(
     largescale._points_computed = 0
     from ..sim.audit import audit_enabled
     audit = audit_enabled(config.audit)
+    topology_spec = resolve_fct_topology(topology)
     points = [
         (name, scheduler_name, load, profile, seed, model, loss_rate,
-         audit, cache_dir, force)
+         audit, cache_dir, force, topology_spec)
         for loss_rate in loss_rates
         for load in profile.loads
         for name in scheme_names

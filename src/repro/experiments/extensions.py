@@ -30,7 +30,7 @@ from ..net.host import Host
 from ..net.link import Link
 from ..net.port import Port
 from ..net.switch import Switch
-from ..net.topology import DEFAULT_LINK_DELAY, Network, single_bottleneck
+from ..net.topology import DEFAULT_LINK_DELAY, Network, TopologySpec
 from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.fifo import FifoScheduler
 from ..sim.audit import FabricAuditor, audit_enabled
@@ -219,16 +219,15 @@ def pmsbe_coexistence(
 
     sim = Simulator()
     auditor = _attach_auditor(sim, audit)
-    network = single_bottleneck(
-        sim, 1 + flows_queue2,
-        scheduler_factory=lambda: DwrrScheduler(2),
-        marker_factory=lambda: PerPortMarker(port_threshold),
-        link_rate=link_rate,
+    network = TopologySpec(preset="single-bottleneck").build(
+        sim, lambda: DwrrScheduler(2),
+        lambda: PerPortMarker(port_threshold),
+        default_senders=1 + flows_queue2, link_rate=link_rate,
     )
     if auditor is not None:
         auditor.attach_network(network)
     meter = ThroughputMeter(sim, bin_width=1e-3)
-    meter.attach_port(network.bottleneck_port)
+    meter.attach_port(network.observed_ports("bottleneck")[0])
 
     flows = incast_flows([1, flows_queue2])
     handles = []
@@ -434,16 +433,14 @@ def transport_agnostic_victim(
 
     sim = Simulator()
     auditor = _attach_auditor(sim, audit)
-    network = single_bottleneck(
-        sim, 1 + flows_queue2,
-        scheduler_factory=lambda: DwrrScheduler(2),
-        marker_factory=marker_factory,
-        link_rate=link_rate,
+    network = TopologySpec(preset="single-bottleneck").build(
+        sim, lambda: DwrrScheduler(2), marker_factory,
+        default_senders=1 + flows_queue2, link_rate=link_rate,
     )
     if auditor is not None:
         auditor.attach_network(network)
     meter = ThroughputMeter(sim, bin_width=1e-3)
-    meter.attach_port(network.bottleneck_port)
+    meter.attach_port(network.observed_ports("bottleneck")[0])
     for flow in incast_flows([1, flows_queue2]):
         if transport == "dcqcn":
             open_dcqcn_flow(network, flow)
@@ -553,9 +550,10 @@ def incast_sweep(
                 continue
         sim = Simulator()
         auditor = _attach_auditor(sim, audit)
-        network = single_bottleneck(
-            sim, fanin, lambda: DwrrScheduler(2), scheme.marker_factory,
-            link_rate=link_rate, buffer_packets=buffer_packets,
+        network = TopologySpec(preset="single-bottleneck").build(
+            sim, lambda: DwrrScheduler(2), scheme.marker_factory,
+            default_senders=fanin, link_rate=link_rate,
+            buffer_packets=buffer_packets,
         )
         if auditor is not None:
             auditor.attach_network(network)
@@ -576,7 +574,7 @@ def incast_sweep(
         row = IncastRow(
             scheme=scheme.name,
             fanin=fanin,
-            drops=network.bottleneck_port.drops,
+            drops=network.observed_ports("bottleneck")[0].drops,
             completed=len(collector),
             fct_p99=summarize(fcts).p99 if fcts else None,
             retransmission_timeouts=sum(h.sender.timeouts

@@ -27,7 +27,7 @@ from ..control.controller import (ControllerRuntime, ControllerSpec,
                                   controller_enabled)
 from ..metrics.fct import FctCollector, SizeClass
 from ..metrics.stats import SummaryStats
-from ..net.topology import leaf_spine
+from ..net.topology import TopologySpec, as_topology, topology_enabled
 from ..scheduling.dwrr import DwrrScheduler
 from ..scheduling.wfq import WfqScheduler
 from ..sim.audit import FabricAuditor, audit_enabled
@@ -43,8 +43,9 @@ from ..workloads.generator import PoissonFlowGenerator
 from .scale import BENCH, ScaleProfile
 from .scenario import SchemeSpec, make_scheme
 
-__all__ = ["FctRow", "fct_point_spec", "largescale_scheme", "run_fct_point",
-           "run_fct_sweep", "reduction_percent", "LARGESCALE_SCHEMES"]
+__all__ = ["FctRow", "fct_point_spec", "topology_params", "largescale_scheme",
+           "resolve_fct_topology", "run_fct_point", "run_fct_sweep",
+           "reduction_percent", "LARGESCALE_SCHEMES"]
 
 #: Test/CI hook: when set to N > 0, a store-backed sweep raises after
 #: this process has computed (and persisted) N fresh points — a
@@ -165,6 +166,26 @@ class FctRow:
         )
 
 
+def topology_params(topology: Union[str, TopologySpec, None],
+                    fat_tree_k: int = 4) -> Dict[str, Any]:
+    """Topology contribution to a point spec's params.
+
+    Renders default fabrics to the *historical* param shapes (a plain
+    ``topology`` name, plus ``fat_tree_k`` for fat-trees), so every
+    pre-redesign run-store key is unchanged; non-default
+    :class:`~repro.net.topology.TopologySpec` instances add a canonical
+    ``topology_params`` tuple.
+    """
+    if topology is None:
+        return {"topology": "leaf-spine"}
+    if isinstance(topology, TopologySpec):
+        return topology.cache_params()
+    params: Dict[str, Any] = {"topology": topology}
+    if topology == "fat-tree":
+        params["fat_tree_k"] = fat_tree_k
+    return params
+
+
 def fct_point_spec(
     scheme_name: str,
     scheduler_name: str,
@@ -172,7 +193,7 @@ def fct_point_spec(
     profile: ScaleProfile,
     seed: int,
     audit: bool = False,
-    topology: str = "leaf-spine",
+    topology: Union[str, TopologySpec, None] = "leaf-spine",
     fat_tree_k: int = 4,
     faults: Sequence[FaultSpec] = (),
     controller: Optional[ControllerSpec] = None,
@@ -180,7 +201,11 @@ def fct_point_spec(
     """The canonical identity of one §VI-B FCT point (store cache key).
 
     Everything that determines the row's numbers is in here — including
-    any injected :class:`~repro.sim.faults.FaultSpec` set and any
+    the fabric (``topology`` accepts the legacy ``"leaf-spine"`` /
+    ``"fat-tree"`` strings or a
+    :class:`~repro.net.topology.TopologySpec`, rendered through
+    :func:`topology_params` so default fabrics keep their historical
+    keys), any injected :class:`~repro.sim.faults.FaultSpec` set and any
     :class:`~repro.control.ControllerSpec`, rendered to canonical tuples
     so chaos and closed-loop points key differently from clean ones
     (and a disabled controller keys exactly as before this layer
@@ -188,9 +213,7 @@ def fct_point_spec(
     location) deliberately are not — see
     :class:`~repro.store.ExperimentSpec`.
     """
-    params: Dict[str, Any] = {"topology": topology}
-    if topology == "fat-tree":
-        params["fat_tree_k"] = fat_tree_k
+    params = topology_params(topology, fat_tree_k)
     if faults:
         params["faults"] = tuple(spec.to_param() for spec in faults)
     if controller is not None:
@@ -199,6 +222,30 @@ def fct_point_spec(
         "fct-point", scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
     )
+
+
+def resolve_fct_topology(
+    topology: Union[str, TopologySpec, None],
+    fat_tree_k: int = 4,
+) -> TopologySpec:
+    """Resolve a runner's ``topology`` argument to a built spec.
+
+    None defers to the process default (the CLI's ``--topology`` flag),
+    then to the paper's leaf-spine; the legacy ``"fat-tree"`` string
+    picks up ``fat_tree_k``.
+    """
+    if topology is None:
+        resolved = topology_enabled(None)
+        return resolved if resolved is not None else TopologySpec()
+    if isinstance(topology, str) and topology == "fat-tree":
+        return TopologySpec(preset="fat-tree", k=fat_tree_k)
+    spec = as_topology(topology)
+    assert spec is not None
+    if spec.preset == "single-bottleneck":
+        raise ValueError(
+            "FCT experiments need a multi-host fabric; "
+            "single-bottleneck is for incast scenarios")
+    return spec
 
 
 def _make_scheduler_factory(scheduler_name: str):
@@ -220,7 +267,7 @@ def run_fct_point(
     profile: Optional[ScaleProfile] = None,
     seed: Optional[int] = None,
     size_distribution: Optional[SizeDistribution] = None,
-    topology: str = "leaf-spine",
+    topology: Union[str, TopologySpec, None] = None,
     fat_tree_k: int = 4,
     size_scale: Optional[float] = None,
     profile_events: bool = UNSET,
@@ -234,9 +281,13 @@ def run_fct_point(
 ) -> FctRow:
     """Run one load point for one scheme and collect FCT statistics.
 
-    ``topology`` selects the fabric: the paper's ``"leaf-spine"`` (shape
-    from the scale profile) or a ``"fat-tree"`` of arity ``fat_tree_k``
-    as a robustness check on a different fabric.  When passing a custom
+    ``topology`` selects the fabric: a
+    :class:`~repro.net.topology.TopologySpec` (or its
+    ``preset:key=val`` string spelling), the legacy ``"leaf-spine"`` /
+    ``"fat-tree"`` strings (the latter of arity ``fat_tree_k``), or
+    None to defer to the process default the CLI's ``--topology`` flag
+    sets — falling back to the paper's leaf-spine with its shape from
+    the scale profile.  When passing a custom
     ``size_distribution`` that is already scaled, pass the matching
     ``size_scale`` so the small/large class boundaries scale with it.
     Execution knobs come from ``config``
@@ -266,14 +317,9 @@ def run_fct_point(
     profile_events = config.profile_events
     audit = config.audit
     wall_start = time.perf_counter()
-    if topology == "leaf-spine":
-        scheme = largescale_scheme(scheme_name, profile.link_rate,
-                                   base_rtt_hops=4)
-    elif topology == "fat-tree":
-        scheme = largescale_scheme(scheme_name, profile.link_rate,
-                                   base_rtt_hops=6)
-    else:
-        raise ValueError(f"unknown topology {topology!r}")
+    topo = resolve_fct_topology(topology, fat_tree_k)
+    scheme = largescale_scheme(scheme_name, profile.link_rate,
+                               base_rtt_hops=topo.base_rtt_hops)
     rng = make_rng(seed)
     sim = Simulator()
     auditor = FabricAuditor(sim) if audit_enabled(audit) else None
@@ -282,21 +328,10 @@ def run_fct_point(
         from ..sim.profile import SimProfiler
         profiler = SimProfiler(sim, sample_interval=profile.time_cap / 200.0)
         profiler.start()
-    if topology == "fat-tree":
-        from ..net.topology import fat_tree
-        network = fat_tree(
-            sim, _make_scheduler_factory(scheduler_name),
-            scheme.marker_factory, k=fat_tree_k,
-            link_rate=profile.link_rate,
-        )
-    else:
-        n_leaf, n_spine, hosts_per_leaf = profile.fabric
-        network = leaf_spine(
-            sim, _make_scheduler_factory(scheduler_name),
-            scheme.marker_factory,
-            n_leaf=n_leaf, n_spine=n_spine, hosts_per_leaf=hosts_per_leaf,
-            link_rate=profile.link_rate,
-        )
+    network = topo.build(
+        sim, _make_scheduler_factory(scheduler_name), scheme.marker_factory,
+        default_fabric=profile.fabric, link_rate=profile.link_rate,
+    )
     if auditor is not None:
         auditor.attach_network(network)
     fault_specs = faults_enabled(faults)
@@ -421,10 +456,11 @@ def _sweep_worker(point) -> FctRow:
     stays consistent at any ``--jobs`` level.
     """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit, cache_dir, force, faults, controller) = point
+     audit, cache_dir, force, faults, controller, topology) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
-                          audit=audit, faults=faults, controller=controller)
+                          audit=audit, topology=topology, faults=faults,
+                          controller=controller)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -432,6 +468,7 @@ def _sweep_worker(point) -> FctRow:
     provenance_out: Dict[str, Any] = {}
     row = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
+        topology=topology,
         config=RunConfig(profile_events=profile_events, audit=audit),
         provenance_out=provenance_out, faults=faults, controller=controller,
     )
@@ -457,6 +494,7 @@ def run_fct_sweep(
     store: Optional[Union[RunStore, str]] = None,
     faults: Optional[Sequence[FaultSpec]] = None,
     controller: Optional[ControllerSpec] = None,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> List[FctRow]:
     """The full figure set: every scheme × every load point.
 
@@ -497,15 +535,16 @@ def run_fct_sweep(
 
     global _points_computed
     _points_computed = 0
-    # The audit and fault choices are resolved here and shipped inside
-    # each point so worker processes need not share this process's
-    # defaults.
+    # The audit, fault and topology choices are resolved here and
+    # shipped inside each point so worker processes need not share this
+    # process's defaults.
     fault_specs = faults_enabled(faults)
     controller_spec = controller_enabled(controller)
+    topology_spec = resolve_fct_topology(topology)
     points = [
         (name, scheduler_name, load, profile, seed,
          config.profile_events, audit_enabled(config.audit),
-         cache_dir, force, fault_specs, controller_spec)
+         cache_dir, force, fault_specs, controller_spec, topology_spec)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

@@ -14,7 +14,7 @@ Two things live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..control.controller import (ControllerRuntime, ControllerSpec,
                                   controller_enabled)
@@ -29,7 +29,7 @@ from ..metrics.queue_trace import QueueOccupancyTrace
 from ..metrics.throughput import ThroughputMeter
 from ..net.packet import MTU_BYTES
 from ..net.sharedbuf import SharedBufferSpec
-from ..net.topology import Network, single_bottleneck
+from ..net.topology import Network, TopologySpec, as_topology, topology_enabled
 from ..scheduling.base import Scheduler
 from ..sim.audit import FabricAuditor, audit_enabled
 from ..sim.engine import Simulator
@@ -215,6 +215,7 @@ def run_incast(
     fault_seed: int = 0,
     shared_buffer: Optional[SharedBufferSpec] = None,
     controller: Optional[ControllerSpec] = None,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> IncastResult:
     """Run one incast scenario to completion and measure per-queue rates.
 
@@ -236,7 +237,13 @@ def run_incast(
     attaches a closed-loop :class:`~repro.control.ControllerRuntime`
     retuning marker thresholds on the spec's period (None defers to the
     ``--controller`` process default); controllers that consume RTT
-    force ``record_rtt`` on.
+    force ``record_rtt`` on.  ``topology`` is a
+    :class:`~repro.net.topology.TopologySpec` (or its string spelling;
+    None defers to the ``--topology`` process default, then to the
+    historical single-bottleneck fabric): on a multi-switch fabric the
+    flows' receiver keeps the single-bottleneck convention (host
+    ``n_senders``) and the observed port is the receiver's host-facing
+    downlink — the port the incast converges on.
     """
     config = resolve_run_config(config, "run_incast",
                                 duration=duration, audit=audit)
@@ -245,11 +252,33 @@ def run_incast(
     n_senders = max(flow.src for flow in flows) + 1
     sim = Simulator()
     auditor = FabricAuditor(sim) if audit_enabled(audit) else None
-    network = single_bottleneck(
-        sim, n_senders, scheduler_factory, scheme.marker_factory,
+    topo = topology_enabled(as_topology(topology))
+    if topo is None:
+        topo = TopologySpec(preset="single-bottleneck")
+    if (topo.preset == "single-bottleneck" and topo.senders
+            and topo.senders != n_senders):
+        raise ValueError(
+            f"topology pins {topo.senders} senders but the flow layout "
+            f"uses {n_senders} (the receiver is host n_senders)")
+    network = topo.build(
+        sim, scheduler_factory, scheme.marker_factory,
+        shared_buffer=shared_buffer, default_senders=n_senders,
         link_rate=link_rate, buffer_packets=buffer_packets,
-        shared_buffer=shared_buffer,
     )
+    receiver_id = n_senders
+    if len(network.hosts) <= receiver_id:
+        raise ValueError(
+            f"topology {topo.preset!r} has {len(network.hosts)} hosts but the "
+            f"flow layout needs {n_senders} senders plus a receiver")
+    bottleneck = network.observed_ports("bottleneck")
+    observed = bottleneck[0] if bottleneck else None
+    if observed is None:
+        observed = network.host_facing_port(receiver_id)
+        if observed is None:
+            raise ValueError(
+                f"topology {topo.preset!r} has no port facing the receiver "
+                f"(host {receiver_id})")
+        network.register_observed("bottleneck", observed)
     if auditor is not None:
         auditor.attach_network(network)
     fault_specs = faults_enabled(faults)
@@ -264,8 +293,8 @@ def run_incast(
                                     controller.build(), controller.period)
         record_rtt = record_rtt or controller.wants_rtt
     meter = ThroughputMeter(sim, bin_width=duration / 100.0)
-    meter.attach_port(network.bottleneck_port)
-    trace = QueueOccupancyTrace(network.bottleneck_port) if trace_occupancy else None
+    meter.attach_port(observed)
+    trace = QueueOccupancyTrace(observed) if trace_occupancy else None
 
     handles = []
     for flow in flows:
@@ -285,7 +314,7 @@ def run_incast(
         auditor.verify_fabric()
 
     warmup = duration * warmup_fraction
-    n_queues = network.bottleneck_port.n_queues
+    n_queues = observed.n_queues
     queue_gbps = {
         q: meter.average_bps(q, warmup, duration) / 1e9 for q in range(n_queues)
     }

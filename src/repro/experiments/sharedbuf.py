@@ -40,6 +40,7 @@ from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
 
 from ..net.packet import MTU_BYTES
 from ..net.sharedbuf import SharedBufferSpec
+from ..net.topology import TopologySpec, as_topology, topology_enabled
 from ..store.runstore import RunStore, make_provenance
 from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
                           resolve_run_config)
@@ -154,10 +155,12 @@ def _scheduler_factory(scheduler_name: str, n_queues: int):
 
 
 def _pool_stats(result) -> Tuple[int, int]:
-    buf = result.network.switches[0].shared_buffer
-    if buf is None:
+    pools = [sw.shared_buffer for sw in result.network.switches
+             if sw.shared_buffer is not None]
+    if not pools:
         return 0, 0
-    return buf.peak_packets, buf.rejections
+    return (max(buf.peak_packets for buf in pools),
+            sum(buf.rejections for buf in pools))
 
 
 def sharedbuf_point(
@@ -170,6 +173,7 @@ def sharedbuf_point(
     duration: float = UNSET,
     audit: Optional[bool] = UNSET,
     config: Optional[RunConfig] = None,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> SharedBufRow:
     """Measure one (scheme, scheduler, policy) buffer-contention point.
 
@@ -201,13 +205,13 @@ def sharedbuf_point(
         scheme, _scheduler_factory(scheduler_name, 2),
         incast_flows([1, hog_flows]),
         link_rate=link_rate, config=run_cfg, shared_buffer=spec,
-        init_cwnd=init_cwnd,
+        init_cwnd=init_cwnd, topology=topology,
     )
     q0, q1 = victim.queue_gbps[0], victim.queue_gbps[1]
     total = q0 + q1
     fair = total / 2.0
     victim_err = abs(q0 - fair) / fair if total else 0.0
-    victim_drops = victim.network.bottleneck_port.drops
+    victim_drops = victim.network.observed_ports("bottleneck")[0].drops
 
     burst_scheme = make_scheme(scheme_name, link_rate=link_rate, n_queues=2)
     burst = run_incast(
@@ -215,9 +219,9 @@ def sharedbuf_point(
         incast_flows([1, burst_flows],
                      start_times=[0.0, duration * 0.5]),
         link_rate=link_rate, config=run_cfg, shared_buffer=spec,
-        init_cwnd=init_cwnd,
+        init_cwnd=init_cwnd, topology=topology,
     )
-    port = burst.network.bottleneck_port
+    port = burst.network.observed_ports("bottleneck")[0]
     burst_drops = port.queue_drops[1]
     # Everything queue 1 offered the port: what it dropped plus what it
     # serialized (data packets are MTU-sized) plus what is still queued.
@@ -246,18 +250,23 @@ def sharedbuf_point_spec(
     profile: ScaleProfile,
     seed: int,
     audit: bool = False,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> ExperimentSpec:
     """The canonical identity of one shared-buffer point (cache key).
 
     The full :class:`~repro.net.sharedbuf.SharedBufferSpec` is rendered
     into the params, so a changed alpha, capacity or delay target
-    re-keys exactly the affected points.
+    re-keys exactly the affected points.  ``topology=None`` renders the
+    historical ``single-bottleneck`` param, leaving old cache keys
+    intact; non-default specs re-key via
+    :meth:`~repro.net.topology.TopologySpec.cache_params`.
     """
-    params: Dict[str, Any] = {
-        "topology": "single-bottleneck",
-        "shared_buffer": (shared_buffer.to_param()
-                          if shared_buffer is not None else "none"),
-    }
+    topo = as_topology(topology)
+    params: Dict[str, Any] = dict(
+        topo.cache_params() if topo is not None
+        else {"topology": "single-bottleneck"})
+    params["shared_buffer"] = (shared_buffer.to_param()
+                               if shared_buffer is not None else "none")
     return ExperimentSpec.create(
         SHAREDBUF_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
         load=0.0, seed=seed, profile=profile, audit=audit, params=params,
@@ -271,10 +280,11 @@ def _sharedbuf_worker(point) -> SharedBufRow:
     without simulating, fresh results persist atomically before
     returning."""
     (scheme_name, scheduler_name, shared_buffer, profile, seed, audit,
-     cache_dir, force) = point
+     cache_dir, force, topology) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = sharedbuf_point_spec(scheme_name, scheduler_name, shared_buffer,
-                                profile, seed, audit=audit)
+                                profile, seed, audit=audit,
+                                topology=topology)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -284,6 +294,7 @@ def _sharedbuf_worker(point) -> SharedBufRow:
         scheme_name, scheduler_name, shared_buffer,
         link_rate=profile.link_rate,
         config=RunConfig(duration=profile.static_duration, audit=audit),
+        topology=topology,
     )
     if store is not None:
         store.put(spec, row.to_payload(), make_provenance(
@@ -303,6 +314,7 @@ def run_sharedbuf_sweep(
     seed: Optional[int] = None,
     config: Optional[RunConfig] = None,
     store: Optional[Union[RunStore, str]] = None,
+    topology: Union[str, TopologySpec, None] = None,
 ) -> List[SharedBufRow]:
     """The buffer-contention matrix: every scheme × sharing policy.
 
@@ -335,9 +347,10 @@ def run_sharedbuf_sweep(
     policy_points: List[Optional[SharedBufferSpec]] = list(policies)
     if include_baseline:
         policy_points = [None] + policy_points
+    topology_spec = topology_enabled(as_topology(topology))
     points = [
         (name, scheduler_name, policy, profile, seed, audit, cache_dir,
-         force)
+         force, topology_spec)
         for policy in policy_points
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

@@ -1,0 +1,320 @@
+"""X-SCALE: does PMSB's victim protection survive fabric growth?
+
+Every fairness result in the paper (and every static scenario in this
+repro) lives on a one-switch bottleneck or a 48-port testbed.  The
+parametric :class:`~repro.net.topology.TopologySpec` generator removes
+that ceiling, so this family re-asks the paper's core question — how
+far does a lone queue-0 flow land from its scheduler-guaranteed share
+when hogs crush the same port? — on real folded-Clos fabrics from 48
+to 1024 hosts.
+
+Each point builds one generated fabric, aims one long-lived *victim*
+flow (service 0) and ``hogs`` long-lived hog flows (service 1) at a
+single receiver, and measures per-queue goodput on the receiver's
+host-facing downlink — the one port every flow must share, wherever
+ECMP spreads the upstream paths.  With DWRR and two active services
+the victim's fair share is half the downlink;
+``victim_err = |victim - fair| / fair`` is exactly the Fig. 3 metric,
+now a function of fabric size.
+
+The sweep walks :data:`SCALE_LADDER` (48 -> 1024 hosts, two- and
+three-tier Clos at several oversubscription ratios) for each scheme
+and is store-backed like every other sweep: points key on the
+topology's canonical params, fan out across ``--jobs`` workers, and
+resume from the content-addressed run store.  Rows also carry the
+fabric build time, so the sweep doubles as a coarse generator
+benchmark at experiment scale.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
+
+from ..net.topology import TopologySpec, as_topology
+from ..sim.audit import FabricAuditor, audit_enabled
+from ..sim.engine import Simulator
+from ..store.runstore import RunStore, make_provenance
+from ..store.spec import (ExperimentSpec, RunConfig, UNSET,
+                          resolve_run_config)
+from ..transport.endpoints import open_flow
+from ..transport.flow import Flow
+from ..metrics.throughput import ThroughputMeter
+from . import largescale
+from .scale import BENCH, ScaleProfile
+from .scenario import make_scheme
+
+__all__ = [
+    "SCALE_LADDER",
+    "XSCALE_EXPERIMENT",
+    "XSCALE_SCHEMES",
+    "XScaleRow",
+    "run_xscale_sweep",
+    "xscale_point",
+    "xscale_point_spec",
+]
+
+#: Experiment family name in the run store.
+XSCALE_EXPERIMENT = "xscale"
+
+#: Schemes compared as the fabric grows: PMSB against the conventional
+#: per-port marking it fixes.
+XSCALE_SCHEMES = ("pmsb", "per-port")
+
+#: The fabric ladder, smallest first: ``(spec_text, n_hosts)``.  Each
+#: entry is a :meth:`TopologySpec.parse`-able Clos; host counts are
+#: pinned here so a generator regression that changes fabric shape
+#: fails loudly instead of silently re-keying the sweep.
+SCALE_LADDER: Tuple[Tuple[str, int], ...] = (
+    ("clos:tiers=2,ports=8,oversub=1.5", 48),
+    ("clos:tiers=2,ports=16", 128),
+    ("clos:tiers=2,ports=16,oversub=2", 256),
+    ("clos:tiers=2,ports=32", 512),
+    ("clos:tiers=3,ports=16", 1024),
+)
+
+
+@dataclass
+class XScaleRow:
+    """One (scheme, fabric) victim-protection measurement."""
+
+    scheme: str
+    scheduler: str
+    #: Canonical spec text of the fabric (``clos:ports=16,tiers=2``…).
+    topology: str
+    n_hosts: int
+    n_switches: int
+    hogs: int
+    seed: int
+    victim_gbps: float
+    hogs_gbps: float
+    #: Fig. 3 metric on the receiver downlink: |victim - fair| / fair.
+    victim_err: float
+    #: Drops on the measured downlink over the whole run.
+    drops: int
+    #: Wall-clock seconds spent generating + wiring the fabric.
+    build_s: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "XScaleRow":
+        return cls(**{name: data[name] for name in (
+            "scheme", "scheduler", "topology", "n_hosts", "n_switches",
+            "hogs", "seed", "victim_gbps", "hogs_gbps", "victim_err",
+            "drops", "build_s")})
+
+
+def _spec_text(spec: TopologySpec) -> str:
+    """Canonical ``preset:key=val`` rendering of a topology spec."""
+    pairs = [f"{key}={value}" for key, value in spec.to_param()
+             if key != "preset"]
+    return spec.preset + (":" + ",".join(pairs) if pairs else "")
+
+
+def xscale_point_spec(
+    scheme_name: str,
+    scheduler_name: str,
+    topology: Union[str, TopologySpec],
+    profile: ScaleProfile,
+    seed: int,
+    hogs: int = 8,
+    audit: bool = False,
+) -> ExperimentSpec:
+    """The canonical identity of one scale point (cache key)."""
+    topo = as_topology(topology)
+    params: Dict[str, Any] = dict(topo.cache_params())
+    params["hogs"] = int(hogs)
+    return ExperimentSpec.create(
+        XSCALE_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
+        load=0.0, seed=seed, profile=profile, audit=audit, params=params,
+    )
+
+
+def _pick_endpoints(host_ids: Sequence[int], hogs: int,
+                    seed: int) -> Tuple[int, int, List[int]]:
+    """Deterministic (receiver, victim, hog sources) for one fabric.
+
+    The receiver is the seed-rotated host, the victim sits half the
+    fabric away (a different leaf on every ladder entry), and hogs are
+    spread evenly over the remaining hosts so ECMP fans their paths
+    across the whole core.
+    """
+    n = len(host_ids)
+    if n < hogs + 2:
+        raise ValueError(
+            f"fabric has {n} hosts but the scenario needs {hogs + 2} "
+            "(receiver + victim + hogs)")
+    receiver = host_ids[seed % n]
+    victim = host_ids[(seed + n // 2) % n]
+    pool = [h for h in host_ids if h not in (receiver, victim)]
+    stride = max(1, len(pool) // hogs)
+    sources = [pool[(i * stride) % len(pool)] for i in range(hogs)]
+    # Strides that wrap can collide; backfill with the unused hosts.
+    unused = iter(h for h in pool if h not in set(sources))
+    seen: set = set()
+    for i, src in enumerate(sources):
+        if src in seen:
+            sources[i] = next(unused)
+        seen.add(sources[i])
+    return receiver, victim, sources
+
+
+def xscale_point(
+    scheme_name: str,
+    topology: Union[str, TopologySpec],
+    scheduler_name: str = "dwrr",
+    hogs: int = 8,
+    link_rate: float = 10e9,
+    seed: int = 1,
+    duration: float = UNSET,
+    audit: Optional[bool] = UNSET,
+    config: Optional[RunConfig] = None,
+) -> XScaleRow:
+    """Measure victim protection on one generated fabric.
+
+    Builds ``topology``, opens 1 victim (service 0) and ``hogs`` hog
+    flows (service 1) toward one receiver, and reports per-queue
+    goodput on the receiver's downlink after a third of the run has
+    warmed the fabric up.
+    """
+    from .sharedbuf import _scheduler_factory
+
+    config = resolve_run_config(config, "xscale_point",
+                                duration=duration, audit=audit)
+    duration = config.duration if config.duration is not None else 0.02
+    topo = as_topology(topology)
+    if topo is None or topo.preset == "single-bottleneck":
+        raise ValueError("xscale needs a multi-host fabric spec "
+                         "(leaf-spine / fat-tree / clos)")
+    scheme = make_scheme(scheme_name, link_rate=link_rate, n_queues=2)
+
+    sim = Simulator()
+    auditor = FabricAuditor(sim) if config.audit else None
+    build_start = time.perf_counter()
+    network = topo.build(sim, _scheduler_factory(scheduler_name, 2),
+                         scheme.marker_factory, link_rate=link_rate)
+    build_s = time.perf_counter() - build_start
+    if auditor is not None:
+        auditor.attach_network(network)
+
+    host_ids = [host.host_id for host in network.hosts]
+    receiver, victim, sources = _pick_endpoints(host_ids, hogs, seed)
+    downlink = network.host_facing_port(receiver)
+    if downlink is None:
+        raise ValueError(f"fabric has no host-facing port for receiver "
+                         f"{receiver}")
+    meter = ThroughputMeter(sim, bin_width=1e-3)
+    meter.attach_port(downlink)
+
+    open_flow(network, Flow(src=victim, dst=receiver, service=0),
+              scheme.transport_config(init_cwnd=4.0))
+    for src in sources:
+        open_flow(network, Flow(src=src, dst=receiver, service=1),
+                  scheme.transport_config(init_cwnd=4.0))
+    sim.run(until=duration)
+    if auditor is not None:
+        auditor.verify_fabric()
+
+    warmup = duration / 3.0
+    victim_gbps = meter.average_bps(0, warmup, duration) / 1e9
+    hogs_gbps = meter.average_bps(1, warmup, duration) / 1e9
+    total = victim_gbps + hogs_gbps
+    fair = total / 2.0
+    victim_err = abs(victim_gbps - fair) / fair if total else 0.0
+    return XScaleRow(
+        scheme=scheme.name, scheduler=scheduler_name,
+        topology=_spec_text(topo),
+        n_hosts=len(network.hosts),
+        n_switches=len(network.switches),
+        hogs=hogs, seed=seed,
+        victim_gbps=victim_gbps, hogs_gbps=hogs_gbps,
+        victim_err=victim_err, drops=downlink.drops, build_s=build_s,
+    )
+
+
+def _xscale_worker(point) -> XScaleRow:
+    """Module-level (picklable) worker for one sweep point.
+
+    Same cache contract as the FCT sweeps: store hits are answered
+    without simulating, fresh results persist atomically before
+    returning."""
+    (scheme_name, scheduler_name, topology, expected_hosts, profile,
+     seed, hogs, audit, cache_dir, force) = point
+    store = RunStore(cache_dir) if cache_dir else None
+    spec = xscale_point_spec(scheme_name, scheduler_name, topology,
+                             profile, seed, hogs=hogs, audit=audit)
+    if store is not None and not force:
+        record = store.get(spec)
+        if record is not None:
+            return XScaleRow.from_payload(record.result)
+    started = time.perf_counter()
+    row = xscale_point(
+        scheme_name, topology, scheduler_name=scheduler_name, hogs=hogs,
+        link_rate=profile.link_rate, seed=seed,
+        config=RunConfig(duration=profile.static_duration, audit=audit),
+    )
+    if expected_hosts and row.n_hosts != expected_hosts:
+        raise RuntimeError(
+            f"{row.topology} built {row.n_hosts} hosts, ladder pins "
+            f"{expected_hosts} — generator shape regression")
+    if store is not None:
+        store.put(spec, row.to_payload(), make_provenance(
+            profile_name=profile.name,
+            elapsed_s=time.perf_counter() - started,
+        ))
+        largescale._note_point_computed()
+    return row
+
+
+def run_xscale_sweep(
+    scheme_names: Sequence[str] = XSCALE_SCHEMES,
+    scheduler_name: str = "dwrr",
+    ladder: Sequence[Union[str, TopologySpec, Tuple[str, int]]] = SCALE_LADDER,
+    hogs: int = 8,
+    profile: Optional[ScaleProfile] = None,
+    seed: Optional[int] = None,
+    config: Optional[RunConfig] = None,
+    store: Optional[Union[RunStore, str]] = None,
+) -> List[XScaleRow]:
+    """Victim-flow error vs fabric size: every scheme on every rung.
+
+    ``ladder`` entries are topology spec texts (optionally paired with
+    a pinned expected host count, as in :data:`SCALE_LADDER`).  Points
+    fan out over worker processes and cache/resume exactly like
+    :func:`~repro.experiments.largescale.run_fct_sweep`.
+    """
+    from .runner import run_parallel
+
+    config = resolve_run_config(config, "run_xscale_sweep")
+    if profile is None:
+        profile = config.profile if config.profile is not None else BENCH
+    if seed is None:
+        seed = config.seed if config.seed is not None else 1
+    jobs = config.jobs if config.jobs is not None else profile.jobs
+    if store is None and config.cache_dir:
+        store = config.cache_dir
+    cache_dir = (store.root if isinstance(store, RunStore)
+                 else os.fspath(store) if store else None)
+    force = config.force or not config.resume
+
+    largescale._points_computed = 0
+    audit = audit_enabled(config.audit)
+    rungs: List[Tuple[TopologySpec, int]] = []
+    for entry in ladder:
+        if isinstance(entry, tuple):
+            text, expected = entry
+            rungs.append((as_topology(text), int(expected)))
+        else:
+            rungs.append((as_topology(entry), 0))
+    points = [
+        (name, scheduler_name, topo, expected, profile, seed, hogs,
+         audit, cache_dir, force)
+        for topo, expected in rungs
+        for name in scheme_names
+    ]
+    return run_parallel(points, _xscale_worker, jobs=jobs)

@@ -6,12 +6,14 @@ from .link import Link
 from .packet import ACK, ACK_BYTES, DATA, HEADER_BYTES, MTU_BYTES, Packet
 from .port import Port
 from .switch import Switch
-from .topology import Network, leaf_spine, single_bottleneck
+from .topology import (ClosGenerator, Network, TopologySpec, fat_tree,
+                       leaf_spine, single_bottleneck)
 
 __all__ = [
     "ACK",
     "ACK_BYTES",
     "DATA",
+    "ClosGenerator",
     "Device",
     "HEADER_BYTES",
     "Host",
@@ -21,6 +23,8 @@ __all__ = [
     "Packet",
     "Port",
     "Switch",
+    "TopologySpec",
+    "fat_tree",
     "leaf_spine",
     "single_bottleneck",
 ]

@@ -9,14 +9,17 @@ capacities) and for exporting to graph tooling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Tuple
 
 import networkx as nx
+
+from .host import Host
+from .switch import Switch
 
 if TYPE_CHECKING:  # pragma: no cover
     from .topology import Network
 
-__all__ = ["to_networkx", "validate_topology"]
+__all__ = ["to_networkx", "validate_topology", "validate_routes"]
 
 
 def to_networkx(network: "Network") -> "nx.DiGraph":
@@ -64,3 +67,48 @@ def validate_topology(network: "Network") -> None:
             raise ValueError(
                 f"{src} cannot reach {missing} through the link graph"
             )
+
+
+def validate_routes(network: "Network") -> None:
+    """Raise unless every switch's next-hop table delivers every host.
+
+    Walks each (switch, destination) pair through *all* ECMP branches:
+    a route must exist, must not loop, and every branch must terminate
+    at the destination host.  This is the correctness contract the
+    generated-topology route derivation
+    (:meth:`~repro.net.topology.ClosGenerator.build`) must satisfy on
+    any shape, so generator bugs surface here rather than as silently
+    blackholed traffic.
+    """
+    status: Dict[Tuple[int, int], str] = {}
+
+    def check(switch: Switch, dst: int) -> None:
+        key = (id(switch), dst)
+        state = status.get(key)
+        if state == "ok":
+            return
+        if state == "visiting":
+            raise ValueError(
+                f"routing loop toward host {dst} through {switch.name}")
+        status[key] = "visiting"
+        group = switch.routes.get(dst)
+        if not group:
+            raise ValueError(f"{switch.name} has no route to host {dst}")
+        for index in group:
+            nxt = switch.ports[index].link.dst
+            if isinstance(nxt, Host):
+                if nxt.host_id != dst:
+                    raise ValueError(
+                        f"{switch.name} port {switch.ports[index].name} "
+                        f"routes host {dst} into host {nxt.host_id}")
+            elif isinstance(nxt, Switch):
+                check(nxt, dst)
+            else:
+                raise ValueError(
+                    f"{switch.name} port {switch.ports[index].name} toward "
+                    f"host {dst} has no connected device")
+        status[key] = "ok"
+
+    for switch in network.switches:
+        for host in network.hosts:
+            check(switch, host.host_id)

@@ -13,7 +13,7 @@ port's queue count, matching how operators pin services to switch queues.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..sim.engine import Simulator
 from ..sim.rng import stable_hash
@@ -48,7 +48,9 @@ class Switch:
         self.name = name
         self.ports: List[Port] = []
         #: dst host id -> candidate output port indices (ECMP group).
-        self.routes: Dict[int, List[int]] = {}
+        #: Values are lists (``set_route``) or shared tuples
+        #: (``install_routes``); forwarding only ever indexes them.
+        self.routes: Dict[int, Sequence[int]] = {}
         self.classifier = classifier if classifier is not None else service_classifier
         #: Per-switch hash salt so different switches spread flows
         #: independently (as real switches' hash seeds do).
@@ -77,6 +79,33 @@ class Switch:
                 raise ValueError(f"{self.name}: no port with index {index}")
         self.routes[dst_host] = list(port_indices)
         # Route changes invalidate memoized path choices.
+        self._ecmp_cache.clear()
+
+    def install_routes(self, routes: Mapping[int, Sequence[int]]) -> None:
+        """Bulk-install ECMP groups (the topology generator's path).
+
+        Semantically ``set_route`` per destination, but each *distinct*
+        group object is validated and frozen to a tuple once and then
+        shared by every destination that references it — a generated
+        1k-host fabric installs ~300k route entries but only two group
+        objects per switch (its down ports and its uplink ECMP set), so
+        installation cost is dominated by dict stores, not validation.
+        """
+        n_ports = len(self.ports)
+        frozen: Dict[int, tuple] = {}
+        table = self.routes
+        for dst_host, group in routes.items():
+            cached = frozen.get(id(group))
+            if cached is None:
+                if not group:
+                    raise ValueError("a route needs at least one port")
+                for index in group:
+                    if not 0 <= index < n_ports:
+                        raise ValueError(
+                            f"{self.name}: no port with index {index}")
+                cached = tuple(group)
+                frozen[id(group)] = cached
+            table[dst_host] = cached
         self._ecmp_cache.clear()
 
     def receive(self, packet: Packet) -> None:

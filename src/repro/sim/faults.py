@@ -379,11 +379,12 @@ class FaultScheduler:
                      network: Optional["Network"] = None) -> List["Link"]:
         """Resolve one spec's ``links`` selector to concrete links."""
         if selector == "bottleneck":
-            if network is None or network.bottleneck_port is None:
+            observed = [] if network is None else network.observed_ports("bottleneck")
+            if not observed:
                 raise ValueError(
-                    "selector 'bottleneck' needs a network with a "
-                    "bottleneck_port")
-            return [network.bottleneck_port.link]
+                    "selector 'bottleneck' needs a network with "
+                    "'bottleneck'-role observed ports")
+            return [port.link for port in observed]
         if selector == "all":
             return list(links)
         return [link for link in links

@@ -247,3 +247,119 @@ class TestSharedBufferFlag:
         assert "dt" in cold and "bshare" in cold and "none" in cold
         assert main(argv) == 0  # warm: answered from the run store
         assert capsys.readouterr().out == cold
+
+
+class TestSpecFlags:
+    """The four spec-valued flags share one SpecFlag code path: every
+    bad input must die in argparse with the flag's own name prefixed,
+    and every default must be scoped to the dispatched command."""
+
+    @pytest.mark.parametrize("flag,value,needle", [
+        ("--topology", "bogus", "unknown topology preset"),
+        ("--topology", "clos:tiers=4", "tiers"),
+        ("--topology", "leaf-spine:weird=1", "unknown field 'weird'"),
+        ("--faults", "nope", "unknown fault model"),
+        ("--shared-buffer", "bogus", "sharing policy"),
+        ("--shared-buffer", "dt:capacity=lots", "invalid literal"),
+        ("--controller", "zeta", "unknown controller"),
+    ])
+    def test_bad_spec_names_the_flag(self, capsys, flag, value, needle):
+        with pytest.raises(SystemExit):
+            main(["fig3", flag, value])
+        err = capsys.readouterr().err
+        assert f"{flag}: " in err
+        assert needle in err
+
+    def test_every_command_accepts_every_spec_flag(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args(
+                [name, "--topology", "clos:tiers=2,ports=8,oversub=1.5",
+                 "--faults", "iid-loss:rate=0.001",
+                 "--shared-buffer", "dt:capacity=64",
+                 "--controller", "pi:target=0.6"])
+            assert args.topology == "clos:tiers=2,ports=8,oversub=1.5"
+            assert args.faults == ["iid-loss:rate=0.001"]
+
+    def test_topology_default_scoped_to_command(self, capsys):
+        from repro.net.topology import topology_enabled
+
+        assert main(["fig8", "--duration", "0.004",
+                     "--topology", "leaf-spine"]) == 0
+        capsys.readouterr()
+        # The process default must not leak past dispatch.
+        assert topology_enabled(None) is None
+
+    def test_sweep_with_topology_runs(self, capsys):
+        assert main(["sweep", "--profile", "tiny", "--loads", "0.5",
+                     "--seed", "3", "--jobs", "1", "--topology",
+                     "clos:tiers=2,ports=4,oversub=3"]) == 0
+        out = capsys.readouterr().out
+        assert "PMSB" in out
+
+
+class TestXScaleCommand:
+    def test_registered_with_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["xscale", "--schemes", "pmsb", "--hogs", "4", "--ladder",
+             "clos:tiers=2,ports=8,oversub=1.5", "clos:tiers=2,ports=16"])
+        assert args.command == "xscale"
+        assert args.schemes == ["pmsb"]
+        assert args.hogs == 4
+        assert len(args.ladder) == 2
+
+    def test_runs_one_rung(self, capsys):
+        assert main(["xscale", "--profile", "tiny", "--schemes", "pmsb",
+                     "--hogs", "4", "--jobs", "1", "--ladder",
+                     "clos:tiers=2,ports=4,oversub=3"]) == 0
+        out = capsys.readouterr().out
+        assert "hosts" in out and "24" in out and "PMSB" in out
+
+
+class TestElideParams:
+    def test_empty_renders_dash(self):
+        from repro.cli import _elide_params
+        assert _elide_params(None) == "-"
+        assert _elide_params({}) == "-"
+        assert _elide_params(()) == "-"
+
+    def test_key_sorted_cells(self):
+        from repro.cli import _elide_params
+        assert _elide_params({"b": 2, "a": 1}) == "a=1,b=2"
+
+    def test_accepts_nested_pairs(self):
+        from repro.cli import _elide_params
+        assert _elide_params((("topology", "clos"),)) == "topology=clos"
+
+    def test_first_entry_always_shown(self):
+        from repro.cli import _elide_params
+        cell = _elide_params({"alpha": "x" * 80, "beta": 1}, budget=20)
+        assert cell.startswith("alpha=xxx")
+        assert cell.endswith("+1 more")
+
+    def test_elides_whole_entries_with_explicit_tail(self):
+        from repro.cli import _elide_params
+        params = {f"k{i}": i for i in range(9)}
+        cell = _elide_params(params, budget=30)
+        body, _, tail = cell.partition(" +")
+        shown = body.split(",")
+        assert shown[0] == "k0=0"
+        assert tail.endswith("more")
+        assert len(shown) + int(tail.split()[0]) == 9
+
+    def test_under_budget_shows_everything(self):
+        from repro.cli import _elide_params
+        assert _elide_params({"a": 1, "b": 2}, budget=44) == "a=1,b=2"
+        assert "more" not in _elide_params({"a": 1, "b": 2}, budget=44)
+
+    def test_runs_list_shows_params_column(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--profile", "tiny", "--seed", "5",
+                     "--loads", "0.5", "--jobs", "1",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "params" in out
+        assert "topology=leaf-spine" in out
