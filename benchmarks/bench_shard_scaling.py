@@ -1,0 +1,135 @@
+"""Engineering benchmark — sharded-fabric scaling (``--shards N``).
+
+Not a paper artifact: measures how aggregate event throughput of one
+FCT scenario scales when the fabric is partitioned across
+conservative-lookahead shard processes, on a 256-host 2-tier and a
+1024-host 3-tier Clos.  Each ladder point runs the identical workload
+single-process and at 2 and 4 shards, recording wall time, aggregate
+events/s, sync rounds and blocked time per shard in
+``BENCH_shard.json`` at the repo root.
+
+Parallel speedup only exists when the machine grants the worker
+processes real CPUs, so the regression gate is opt-in and
+honesty-first: ``REPRO_SHARD_SPEEDUP_GATE`` (e.g. ``2.5``) asserts the
+4-shard/1-shard events/s ratio on the 1024-host point, but only when
+:func:`repro.experiments.runner.available_jobs` reports at least 4
+CPUs — on a pinned 1-CPU CI runner the shards time-slice one core and
+the sync overhead makes the ratio < 1, which the JSON records with
+``gate.enforced: false`` rather than pretending a speedup.
+"""
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+from time import perf_counter
+
+from conftest import heading
+
+from repro.experiments.largescale import run_fct_point
+from repro.experiments.runner import available_jobs
+from repro.experiments.scale import TINY
+from repro.store.spec import RunConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_shard.json"
+
+#: (topology spec, expected hosts, flows) — the 256 -> 1024 host ladder.
+LADDER = (
+    ("clos:tiers=2,ports=16,oversub=2", 256, 150),
+    ("clos:tiers=3,ports=16", 1024, 200),
+)
+SHARD_COUNTS = (1, 2, 4)
+GATE_ENV = "REPRO_SHARD_SPEEDUP_GATE"
+
+
+def _one_point(topology, flows, shards):
+    profile = replace(TINY, name="shardbench", largescale_flows=flows,
+                      time_cap=0.05)
+    provenance = {}
+    config = RunConfig(shards=shards if shards > 1 else None)
+    start = perf_counter()
+    row = run_fct_point("pmsb", "dwrr", 0.5, profile, seed=1,
+                        topology=topology, config=config,
+                        provenance_out=provenance)
+    wall = perf_counter() - start
+    engine = provenance.get("engine", {})
+    events = engine.get("events_processed", 0)
+    shard_stats = provenance.get("shards")
+    return {
+        "topology": topology,
+        "shards": shards,
+        "completed": row.completed,
+        "n_flows": row.n_flows,
+        "wall_s": wall,
+        "events_processed": events,
+        "events_per_second": events / wall if wall else 0.0,
+        "sync_rounds": (shard_stats or {}).get("sync_rounds"),
+        "blocked_s": (shard_stats or {}).get("blocked_s"),
+    }
+
+
+def test_shard_scaling_ladder(benchmark):
+    points = []
+
+    def run_ladder():
+        for topology, hosts, flows in LADDER:
+            for shards in SHARD_COUNTS:
+                point = _one_point(topology, flows, shards)
+                point["hosts"] = hosts
+                points.append(point)
+        return len(points)
+
+    benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+
+    gate_value = os.environ.get(GATE_ENV)
+    jobs = available_jobs()
+    enforced = gate_value is not None and jobs >= max(SHARD_COUNTS)
+
+    heading("Sharded fabric scaling — aggregate events/s")
+    print(f"{'topology':<34}{'shards':>7}{'events/s':>14}"
+          f"{'speedup':>9}{'rounds':>8}")
+    speedups = {}
+    for topology, hosts, _flows in LADDER:
+        base = next(p for p in points
+                    if p["topology"] == topology and p["shards"] == 1)
+        for shards in SHARD_COUNTS:
+            point = next(p for p in points
+                         if p["topology"] == topology
+                         and p["shards"] == shards)
+            speedup = (point["events_per_second"] /
+                       base["events_per_second"]
+                       if base["events_per_second"] else 0.0)
+            point["speedup_vs_single"] = speedup
+            speedups[(topology, shards)] = speedup
+            rounds = point["sync_rounds"] or "-"
+            print(f"{topology:<34}{shards:>7}"
+                  f"{point['events_per_second']:>14,.0f}"
+                  f"{speedup:>9.2f}{rounds:>8}")
+    print(f"\navailable_jobs={jobs}  gate={gate_value or 'unset'}  "
+          f"enforced={enforced}")
+
+    top_topology = LADDER[-1][0]
+    payload = {
+        "points": points,
+        "gate": {
+            "env": GATE_ENV,
+            "value": float(gate_value) if gate_value else None,
+            "available_jobs": jobs,
+            "enforced": enforced,
+            "speedup_at_max_shards": speedups[(top_topology,
+                                               max(SHARD_COUNTS))],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+    # Every configuration must finish the full workload — scaling
+    # numbers from truncated runs would be meaningless.
+    for point in points:
+        assert point["completed"] == point["n_flows"], point
+    if enforced:
+        assert speedups[(top_topology, max(SHARD_COUNTS))] >= \
+            float(gate_value), (
+            f"4-shard speedup below gate {gate_value} "
+            f"(see {BENCH_JSON})")

@@ -324,6 +324,7 @@ def cmd_sweep(args) -> Any:
         profile_events=args.profile_events,
         cache_dir=args.cache_dir,
         force=args.force,
+        shards=args.shards,
     )
     rows = largescale.run_fct_sweep(scheduler_name=args.scheduler,
                                     config=config)
@@ -456,6 +457,7 @@ def cmd_chaos_sweep(args) -> Any:
         audit=True if args.audit else None,
         cache_dir=args.cache_dir,
         force=args.force,
+        shards=args.shards,
     )
     rows = chaos.run_chaos_sweep(
         scheme_names=tuple(args.schemes),
@@ -559,6 +561,7 @@ def cmd_xscale(args) -> Any:
         audit=True if args.audit else None,
         cache_dir=args.cache_dir,
         force=args.force,
+        shards=args.shards,
     )
     rows = xscale.run_xscale_sweep(
         scheme_names=tuple(args.schemes),
@@ -771,6 +774,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the fabric invariant auditor "
                              "(cross-layer conservation checks; raises "
                              "on the first violation)")
+    common.add_argument("--shards", type=int, default=None,
+                        help="split each scenario across N conservative-"
+                             "lookahead shard processes (leaf/pod "
+                             "partition, deterministic merge; needs a "
+                             "multi-switch fabric — see docs/API.md)")
     for spec_flag in SPEC_FLAGS:
         spec_flag.add_to(common)
 

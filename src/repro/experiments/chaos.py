@@ -220,6 +220,7 @@ def chaos_point_spec(
     loss_rate: float,
     audit: bool = False,
     topology: "Union[str, TopologySpec, None]" = None,
+    shards: int = 1,
 ) -> ExperimentSpec:
     """The canonical identity of one chaos FCT point (store cache key).
 
@@ -237,6 +238,12 @@ def chaos_point_spec(
         "loss_rate": loss_rate,
         "faults": tuple(spec.to_param() for spec in faults),
     })
+    # Sharded execution is keyed like the clean FCT sweep: fault
+    # streams replay identically at any shard count, but the execution
+    # substrate differs, so shards > 1 re-keys while shards=1 keys stay
+    # byte-for-byte what they were before the sharding layer existed.
+    if shards and shards > 1:
+        params["shards"] = int(shards)
     return ExperimentSpec.create(
         CHAOS_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -254,11 +261,11 @@ def _chaos_worker(point) -> ChaosFctRow:
     freshly computed points.
     """
     (scheme_name, scheduler_name, load, profile, seed, model, loss_rate,
-     audit, cache_dir, force, topology) = point
+     audit, cache_dir, force, topology, shards) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = chaos_point_spec(scheme_name, scheduler_name, load, profile,
                             seed, model, loss_rate, audit=audit,
-                            topology=topology)
+                            topology=topology, shards=shards)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -268,7 +275,8 @@ def _chaos_worker(point) -> ChaosFctRow:
     fct = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
         topology=topology,
-        config=RunConfig(audit=audit),
+        config=RunConfig(audit=audit,
+                         shards=shards if shards > 1 else None),
         provenance_out=provenance_out,
         faults=chaos_faults(model, loss_rate),
         fault_stats_out=fault_stats,
@@ -326,9 +334,10 @@ def run_chaos_sweep(
     from ..sim.audit import audit_enabled
     audit = audit_enabled(config.audit)
     topology_spec = resolve_fct_topology(topology)
+    shards = config.shards if config.shards is not None else 1
     points = [
         (name, scheduler_name, load, profile, seed, model, loss_rate,
-         audit, cache_dir, force, topology_spec)
+         audit, cache_dir, force, topology_spec, shards)
         for loss_rate in loss_rates
         for load in profile.loads
         for name in scheme_names

@@ -197,6 +197,7 @@ def fct_point_spec(
     fat_tree_k: int = 4,
     faults: Sequence[FaultSpec] = (),
     controller: Optional[ControllerSpec] = None,
+    shards: int = 1,
 ) -> ExperimentSpec:
     """The canonical identity of one §VI-B FCT point (store cache key).
 
@@ -218,6 +219,10 @@ def fct_point_spec(
         params["faults"] = tuple(spec.to_param() for spec in faults)
     if controller is not None:
         params["controller"] = controller.to_param()
+    # Sharded points key separately (incast ties make them
+    # tolerance-equal, not byte-equal); shards=1 keys are untouched.
+    if shards and shards > 1:
+        params["shards"] = int(shards)
     return ExperimentSpec.create(
         "fct-point", scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -316,6 +321,27 @@ def run_fct_point(
         seed = config.seed if config.seed is not None else 1
     profile_events = config.profile_events
     audit = config.audit
+    shards = config.shards if config.shards is not None else 1
+    if shards > 1:
+        from .sharded import sharded_fct_point
+        if controller_enabled(controller) is not None:
+            raise ValueError("closed-loop controllers are not supported "
+                             "under --shards (global state)")
+        if size_distribution is not None:
+            raise ValueError("custom size distributions are not supported "
+                             "under --shards")
+        if profile_events:
+            raise ValueError("--profile-events is not supported under "
+                             "--shards; per-shard counters land in "
+                             "provenance instead")
+        return sharded_fct_point(
+            scheme_name, scheduler_name, load, profile, seed, shards,
+            topo=resolve_fct_topology(topology, fat_tree_k),
+            audit=audit_enabled(audit),
+            faults=faults_enabled(faults) or (),
+            provenance_out=provenance_out,
+            fault_stats_out=fault_stats_out,
+        )
     wall_start = time.perf_counter()
     topo = resolve_fct_topology(topology, fat_tree_k)
     scheme = largescale_scheme(scheme_name, profile.link_rate,
@@ -456,11 +482,11 @@ def _sweep_worker(point) -> FctRow:
     stays consistent at any ``--jobs`` level.
     """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit, cache_dir, force, faults, controller, topology) = point
+     audit, cache_dir, force, faults, controller, topology, shards) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
                           audit=audit, topology=topology, faults=faults,
-                          controller=controller)
+                          controller=controller, shards=shards)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -469,7 +495,8 @@ def _sweep_worker(point) -> FctRow:
     row = run_fct_point(
         scheme_name, scheduler_name, load, profile, seed,
         topology=topology,
-        config=RunConfig(profile_events=profile_events, audit=audit),
+        config=RunConfig(profile_events=profile_events, audit=audit,
+                         shards=shards if shards > 1 else None),
         provenance_out=provenance_out, faults=faults, controller=controller,
     )
     if store is not None:
@@ -477,6 +504,7 @@ def _sweep_worker(point) -> FctRow:
             profile_name=profile.name,
             elapsed_s=provenance_out.get("elapsed_s"),
             engine=provenance_out.get("engine"),
+            shards=provenance_out.get("shards"),
         ))
         _note_point_computed()
     return row
@@ -541,10 +569,12 @@ def run_fct_sweep(
     fault_specs = faults_enabled(faults)
     controller_spec = controller_enabled(controller)
     topology_spec = resolve_fct_topology(topology)
+    shards = config.shards if config.shards is not None else 1
     points = [
         (name, scheduler_name, load, profile, seed,
          config.profile_events, audit_enabled(config.audit),
-         cache_dir, force, fault_specs, controller_spec, topology_spec)
+         cache_dir, force, fault_specs, controller_spec, topology_spec,
+         shards)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

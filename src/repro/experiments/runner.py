@@ -34,8 +34,16 @@ ResultT = TypeVar("ResultT")
 
 
 def available_jobs() -> int:
-    """Worker processes this machine can usefully run (>= 1)."""
-    return os.cpu_count() or 1
+    """Worker processes this machine can usefully run (>= 1).
+
+    Containerised runners usually pin the process to a CPU subset;
+    ``sched_getaffinity`` sees that mask where ``cpu_count`` reports the
+    whole machine and oversubscribes.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
 
 
 def seed_for(base_seed: int, index: int) -> int:

@@ -249,6 +249,31 @@ def run_incast(
                                 duration=duration, audit=audit)
     duration = config.duration if config.duration is not None else 0.04
     audit = config.audit
+    shards = config.shards if config.shards is not None else 1
+    if shards > 1:
+        from .sharded import sharded_incast_run
+        if trace_occupancy:
+            raise ValueError("--shards does not support occupancy tracing "
+                             "(the observed port lives in a worker)")
+        if record_rtt:
+            raise ValueError("--shards does not support record_rtt "
+                             "(flow handles stay in the workers)")
+        if controller_enabled(controller) is not None:
+            raise ValueError("closed-loop controllers are not supported "
+                             "under --shards (global state)")
+        shard_topo = topology_enabled(as_topology(topology))
+        if shard_topo is None or shard_topo.preset == "single-bottleneck":
+            raise ValueError("--shards needs a multi-switch fabric "
+                             "(leaf-spine / fat-tree / clos), not "
+                             "single-bottleneck")
+        return sharded_incast_run(
+            scheme, scheduler_factory, list(flows), duration, shard_topo,
+            shards, warmup_fraction=warmup_fraction, link_rate=link_rate,
+            rate_limits=rate_limits, init_cwnd=init_cwnd,
+            buffer_packets=buffer_packets, audit=audit_enabled(audit),
+            faults=faults_enabled(faults) or (), fault_seed=fault_seed,
+            shared_buffer=shared_buffer,
+        )
     n_senders = max(flow.src for flow in flows) + 1
     sim = Simulator()
     auditor = FabricAuditor(sim) if audit_enabled(audit) else None

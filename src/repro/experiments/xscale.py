@@ -124,11 +124,16 @@ def xscale_point_spec(
     seed: int,
     hogs: int = 8,
     audit: bool = False,
+    shards: int = 1,
 ) -> ExperimentSpec:
     """The canonical identity of one scale point (cache key)."""
     topo = as_topology(topology)
     params: Dict[str, Any] = dict(topo.cache_params())
     params["hogs"] = int(hogs)
+    # Sharded points key separately (synchronized starts make them
+    # tolerance-equal, not byte-equal); shards=1 keys are untouched.
+    if shards and shards > 1:
+        params["shards"] = int(shards)
     return ExperimentSpec.create(
         XSCALE_EXPERIMENT, scheme=scheme_name, scheduler=scheduler_name,
         load=0.0, seed=seed, profile=profile, audit=audit, params=params,
@@ -174,13 +179,15 @@ def xscale_point(
     duration: float = UNSET,
     audit: Optional[bool] = UNSET,
     config: Optional[RunConfig] = None,
+    provenance_out: Optional[Dict[str, Any]] = None,
 ) -> XScaleRow:
     """Measure victim protection on one generated fabric.
 
     Builds ``topology``, opens 1 victim (service 0) and ``hogs`` hog
     flows (service 1) toward one receiver, and reports per-queue
     goodput on the receiver's downlink after a third of the run has
-    warmed the fabric up.
+    warmed the fabric up.  ``provenance_out``, when given, receives
+    wall time and engine counters for run-store provenance.
     """
     from .sharedbuf import _scheduler_factory
 
@@ -191,8 +198,17 @@ def xscale_point(
     if topo is None or topo.preset == "single-bottleneck":
         raise ValueError("xscale needs a multi-host fabric spec "
                          "(leaf-spine / fat-tree / clos)")
+    shards = config.shards if config.shards is not None else 1
+    if shards > 1:
+        from .sharded import sharded_xscale_point
+        return sharded_xscale_point(
+            scheme_name, topo, scheduler_name, hogs, link_rate, seed,
+            duration, bool(config.audit), shards,
+            provenance_out=provenance_out,
+        )
     scheme = make_scheme(scheme_name, link_rate=link_rate, n_queues=2)
 
+    wall_start = time.perf_counter()
     sim = Simulator()
     auditor = FabricAuditor(sim) if config.audit else None
     build_start = time.perf_counter()
@@ -219,6 +235,15 @@ def xscale_point(
     sim.run(until=duration)
     if auditor is not None:
         auditor.verify_fabric()
+    if provenance_out is not None:
+        provenance_out["elapsed_s"] = time.perf_counter() - wall_start
+        provenance_out["engine"] = {
+            "events_processed": sim.events_processed,
+            "wheel_events_processed": sim.wheel_events_processed,
+            "heap_events_processed": sim.heap_events_processed,
+            "cancelled_pending": sim.cancelled_pending,
+            "compactions": sim.compactions,
+        }
 
     warmup = duration / 3.0
     victim_gbps = meter.average_bps(0, warmup, duration) / 1e9
@@ -244,19 +269,22 @@ def _xscale_worker(point) -> XScaleRow:
     without simulating, fresh results persist atomically before
     returning."""
     (scheme_name, scheduler_name, topology, expected_hosts, profile,
-     seed, hogs, audit, cache_dir, force) = point
+     seed, hogs, audit, cache_dir, force, shards) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = xscale_point_spec(scheme_name, scheduler_name, topology,
-                             profile, seed, hogs=hogs, audit=audit)
+                             profile, seed, hogs=hogs, audit=audit,
+                             shards=shards)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
             return XScaleRow.from_payload(record.result)
-    started = time.perf_counter()
+    provenance_out: Dict[str, Any] = {}
     row = xscale_point(
         scheme_name, topology, scheduler_name=scheduler_name, hogs=hogs,
         link_rate=profile.link_rate, seed=seed,
-        config=RunConfig(duration=profile.static_duration, audit=audit),
+        config=RunConfig(duration=profile.static_duration, audit=audit,
+                         shards=shards if shards > 1 else None),
+        provenance_out=provenance_out,
     )
     if expected_hosts and row.n_hosts != expected_hosts:
         raise RuntimeError(
@@ -265,7 +293,9 @@ def _xscale_worker(point) -> XScaleRow:
     if store is not None:
         store.put(spec, row.to_payload(), make_provenance(
             profile_name=profile.name,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=provenance_out.get("elapsed_s"),
+            engine=provenance_out.get("engine"),
+            shards=provenance_out.get("shards"),
         ))
         largescale._note_point_computed()
     return row
@@ -311,9 +341,10 @@ def run_xscale_sweep(
             rungs.append((as_topology(text), int(expected)))
         else:
             rungs.append((as_topology(entry), 0))
+    shards = config.shards if config.shards is not None else 1
     points = [
         (name, scheduler_name, topo, expected, profile, seed, hogs,
-         audit, cache_dir, force)
+         audit, cache_dir, force, shards)
         for topo, expected in rungs
         for name in scheme_names
     ]

@@ -56,6 +56,7 @@ schedule/fire churn does not allocate.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 import sys
 from bisect import insort
@@ -205,7 +206,7 @@ class Simulator:
         "_slow", "_wheel", "_cursor", "_active", "_active_pos",
         "_now_bucket", "_wheel_count", "_wheel_cancelled",
         "_wheel_scheduled", "_heap_scheduled",
-        "_wheel_processed", "_heap_processed",
+        "_wheel_processed", "_heap_processed", "barrier_hook",
     )
 
     def __init__(self, slow_path: Optional[bool] = None) -> None:
@@ -243,6 +244,9 @@ class Simulator:
         #: by its constructor.  When None (the default) no audit hook
         #: exists anywhere on the datapath.
         self.auditor: Optional["FabricAuditor"] = None
+        #: Optional shard-synchronisation callback: called with the LBTS
+        #: bound after every :meth:`run_until_lbts` window completes.
+        self.barrier_hook: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
@@ -500,7 +504,8 @@ class Simulator:
     # event) tuple before the check by overwriting the bucket slot with
     # None.
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            exclusive: bool = False) -> int:
         """Run events until both tiers drain, ``until`` is reached, or
         ``max_events`` have executed.
 
@@ -508,23 +513,62 @@ class Simulator:
         is given the clock is advanced to exactly ``until`` on return even
         if the engine drained earlier, so back-to-back ``run`` calls
         observe a consistent timeline.
+
+        ``until`` is normally *inclusive* (an event scheduled exactly at
+        ``until`` fires).  With ``exclusive=True`` the window is
+        half-open ``[now, until)``: events at exactly ``until`` stay
+        pending and fire on the next call.  This is the conservative
+        shard-synchronisation contract — a shard may only execute events
+        strictly before the fabric's lower bound on incoming timestamps
+        (LBTS), because a cross-shard arrival can land exactly *at* it.
+        The hot loops are untouched: the bound is simply tightened to
+        the largest float below ``until`` before dispatch, and the clock
+        is still clamped to the true ``until`` on return.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly from within an event")
+        bound = until
+        if exclusive and until is not None:
+            bound = math.nextafter(until, -math.inf)
         self._running = True
         try:
             if self._slow:
-                executed = self._run_slow(until, max_events)
+                executed = self._run_slow(bound, max_events)
             else:
-                executed = self._run_fast(until, max_events)
+                executed = self._run_fast(bound, max_events)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
-            if not self._slow:
-                now_bucket = int(until * _INV_TICK)
-                if now_bucket > self._now_bucket:
-                    self._now_bucket = now_bucket
+        if not self._slow:
+            # Re-anchor the routing bucket to the clock.  While an
+            # ``until``-bounded run idles, the cursor hunts forward to
+            # the next nonempty bucket and drags ``_now_bucket`` with it
+            # past the clock; if that stale anchor persisted, an event
+            # scheduled between the clock and the anchor (a cross-shard
+            # injection, say) would be skipped by the cursor clamp and
+            # only resurface a full wheel lap later, with its original
+            # timestamp regressing the clock.  Re-anchoring restores the
+            # invariant the clamp relies on: no live wheel entry below
+            # ``_now_bucket``.
+            self._now_bucket = int(self._now * _INV_TICK)
+        return executed
+
+    def run_until_lbts(self, lbts: float, inclusive: bool = False) -> int:
+        """One conservative synchronisation window: run ``[now, lbts)``.
+
+        The exclusive upper bound makes the window safe under the
+        null-message protocol (see :meth:`run`); ``inclusive=True`` is
+        for a final window that must consume events at the deadline
+        itself.  After the window completes the optional
+        :attr:`barrier_hook` is invoked with the bound, so shard runners
+        and profilers can observe synchronisation rounds without a hook
+        in the event loop.
+        """
+        executed = self.run(until=lbts, exclusive=not inclusive)
+        hook = self.barrier_hook
+        if hook is not None:
+            hook(lbts)
         return executed
 
     def _run_slow(self, until: Optional[float], max_events: Optional[int]) -> int:

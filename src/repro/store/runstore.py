@@ -62,12 +62,17 @@ def git_revision() -> str:
 
 def make_provenance(profile_name: Optional[str] = None,
                     elapsed_s: Optional[float] = None,
-                    engine: Optional[Dict[str, int]] = None) -> Dict[str, Any]:
+                    engine: Optional[Dict[str, int]] = None,
+                    shards: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """The standard provenance block stored with every record.
 
     Provenance is *descriptive* (where did this number come from), never
     part of the cache key — wall time and host name must not defeat
-    content addressing.
+    content addressing.  When both ``elapsed_s`` and engine counters are
+    supplied, a derived ``events_per_second`` rides along so
+    ``repro runs show`` can answer "how fast was this run"
+    retroactively; ``shards`` carries the per-shard counter block of a
+    sharded run (see :func:`repro.sim.shard.aggregate_shard_stats`).
     """
     prov: Dict[str, Any] = {
         "wall_time_unix": time.time(),
@@ -82,6 +87,11 @@ def make_provenance(profile_name: Optional[str] = None,
         prov["elapsed_s"] = elapsed_s
     if engine is not None:
         prov["engine"] = dict(engine)
+        events = engine.get("events_processed")
+        if elapsed_s and events is not None:
+            prov["events_per_second"] = events / elapsed_s
+    if shards is not None:
+        prov["shards"] = dict(shards)
     return prov
 
 

@@ -79,6 +79,9 @@ class RunConfig:
     resume: bool = True
     #: Recompute (and overwrite) even when a stored record exists.
     force: bool = False
+    #: Shards for conservative-lookahead parallel execution of a single
+    #: scenario (None / 1 = classic single-process run).
+    shards: Optional[int] = None
 
     def evolve(self, **changes: Any) -> "RunConfig":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""

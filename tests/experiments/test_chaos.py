@@ -49,21 +49,31 @@ class TestChaosPointSpec:
                                  "iid-loss", 0.0)
         lossy = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
                                  "iid-loss", 1e-3)
-        assert clean.key != lossy.key
+        assert clean.key() != lossy.key()
 
     def test_model_re_keys_at_matched_rate(self):
         iid = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
                                "iid-loss", 1e-3)
         ge = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
                               "gilbert-elliott", 1e-3)
-        assert iid.key != ge.key
+        assert iid.key() != ge.key()
+
+    def test_shards_re_key_but_single_process_is_unchanged(self):
+        base = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
+                                "iid-loss", 1e-3)
+        single = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
+                                  "iid-loss", 1e-3, shards=1)
+        sharded = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
+                                   "iid-loss", 1e-3, shards=2)
+        assert base.key() == single.key()
+        assert base.key() != sharded.key()
 
     def test_distinct_from_clean_sweep_family(self):
         chaos_spec = chaos_point_spec("pmsb", "dwrr", 0.5, TINY, SEED,
                                       "iid-loss", 0.0)
         clean_spec = largescale.fct_point_spec("pmsb", "dwrr", 0.5, TINY,
                                                SEED)
-        assert chaos_spec.key != clean_spec.key
+        assert chaos_spec.key() != clean_spec.key()
 
 
 class TestStoreContract:
@@ -130,6 +140,28 @@ class TestLossActuallyHappens:
         assert stats["drops"].get("wire", 0) > 0
         assert sum(link["lost"] for link in stats["links"].values()) == \
             sum(stats["drops"].values())
+
+    @pytest.mark.parametrize("model,rate", [
+        ("iid-loss", 1e-3),
+        ("gilbert-elliott", 1e-3),
+    ])
+    def test_fault_streams_survive_sharding(self, model, rate):
+        """Per-link fault RNG streams key on (seed, salt, link name),
+        never on process layout — splitting the fabric into shards must
+        replay the identical loss pattern on every link."""
+        results = []
+        for shards in (None, 2):
+            stats = {}
+            row = run_fct_point(
+                "pmsb", "dwrr", 0.5, TINY, seed=SEED,
+                config=RunConfig(shards=shards),
+                faults=chaos_faults(model, rate, links="leaf*->spine*"),
+                fault_stats_out=stats,
+            )
+            results.append((row, stats))
+        (base_row, base_stats), (shard_row, shard_stats) = results
+        assert base_stats == shard_stats
+        assert base_row == shard_row
 
 
 class TestStaticVariants:

@@ -103,3 +103,21 @@ class TestWorkerExceptions:
 class TestAvailableJobs:
     def test_at_least_one(self):
         assert available_jobs() >= 1
+
+    def test_respects_cpu_affinity_mask(self, monkeypatch):
+        """Containerised runners pin the process to a CPU subset;
+        ``available_jobs`` must report the mask, not the whole machine."""
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 2, 5}, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_jobs() == 3
+
+    def test_empty_affinity_mask_degrades_to_one(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        assert available_jobs() == 1
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert available_jobs() == 7
