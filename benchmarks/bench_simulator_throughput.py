@@ -12,11 +12,16 @@ of the optimized datapath (timing-wheel tier + packet pool + flattened
 fan-out) against the ``REPRO_SLOW_PATH`` reference engine that records
 the measured speedup in ``BENCH_engine.json`` at the repo root.
 
-The A/B run interleaves fast and slow trials in one process so that
-machine-wide noise (thermal drift, co-tenants) hits both modes equally;
-the ratio of medians is far more stable than either absolute number.
-Two env knobs gate it: ``REPRO_ENGINE_SPEEDUP_GATE`` (default 1.25)
-sets the minimum acceptable fast/slow ratio, and
+The A/B run interleaves fast, slow, and packet-train trials in one
+process so that machine-wide noise (thermal drift, co-tenants) hits all
+modes equally; the ratio of medians is far more stable than either
+absolute number.  Three env knobs gate it:
+``REPRO_ENGINE_SPEEDUP_GATE`` (default 1.25) sets the minimum
+acceptable fast/slow ratio; ``REPRO_ENGINE_TRAIN_GATE`` (default 1.4)
+sets the minimum *equivalent* speedup of the ``--trains 16`` tier over
+the per-packet fast path — equivalent meaning per-packet events divided
+by train-mode wall time, since the train tier wins by processing fewer
+events for the same simulated traffic; and
 ``REPRO_ENGINE_REGRESSION_FACTOR`` — unset by default — additionally
 compares absolute optimized throughput against the committed
 ``BENCH_engine.json`` baseline, failing if it dropped by more than
@@ -38,6 +43,7 @@ from repro.net.packet import POOL, set_pooling
 from repro.net.topology import single_bottleneck
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTask
+from repro.transport.base import DctcpConfig
 from repro.transport.endpoints import open_flow
 from repro.transport.flow import Flow
 
@@ -45,6 +51,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 AB_DURATION = 0.004
 AB_PAIRS = 5
+#: The train-tier trial mirrors the experiments layer exactly
+#: (``run_incast``/``run_fct_point`` with ``trains=16``): coalesced ACKs
+#: on the DCTCP CE state machine and a microsecond-scale delack timer
+#: tuned to exceed the inter-unit serialization gap.
+TRAIN_CONFIG = dict(train_packets=16, ack_every=2, delack_timeout=5e-6)
 
 
 def test_raw_event_loop(benchmark):
@@ -125,15 +136,17 @@ def test_incast_heap_stays_bounded(benchmark):
     assert sim.cancelled_pending * 2 <= max(sim.pending_events, 64)
 
 
-def _incast_trial(slow: bool):
+def _incast_trial(slow: bool, trains: int = 1):
     """One cold 1:8 PMSB incast; returns (events, elapsed, wheel, pool_hit)."""
     set_pooling(not slow)
     POOL.reset()
     sim = Simulator(slow_path=slow)
     network = single_bottleneck(
         sim, 9, lambda: DwrrScheduler(2), lambda: PmsbMarker(16))
+    config = DctcpConfig(**TRAIN_CONFIG) if trains > 1 else None
     for i in range(9):
-        open_flow(network, Flow(src=i, dst=9, service=0 if i == 0 else 1))
+        open_flow(network, Flow(src=i, dst=9, service=0 if i == 0 else 1),
+                  config)
     gc.collect()
     start = perf_counter()
     sim.run(until=AB_DURATION)
@@ -150,24 +163,34 @@ def test_engine_ab_speedup_and_bench_json():
     modes must execute the identical number of events).
     """
     baseline_enabled = POOL.enabled
-    fast_rates, slow_rates = [], []
-    fast_events = slow_events = 0
+    fast_rates, slow_rates, train_walls, fast_walls = [], [], [], []
+    fast_events = slow_events = train_events = 0
     wheel_events = 0
     pool_hit = 0.0
     try:
         _incast_trial(slow=False)  # warm code paths once, untimed
+        _incast_trial(slow=False, trains=16)
         for _ in range(AB_PAIRS):
             fast_events, elapsed, wheel_events, pool_hit = \
                 _incast_trial(slow=False)
             fast_rates.append(fast_events / elapsed)
+            fast_walls.append(elapsed)
             slow_events, elapsed, _, _ = _incast_trial(slow=True)
             slow_rates.append(slow_events / elapsed)
+            train_events, elapsed, _, _ = _incast_trial(slow=False, trains=16)
+            train_walls.append(elapsed)
     finally:
         set_pooling(baseline_enabled)
 
     fast = median(fast_rates)
     slow = median(slow_rates)
     speedup = fast / slow
+    # The train tier simulates the same traffic with fewer events, so its
+    # honest throughput number is *equivalent* events per second: the
+    # per-packet event count over the train-mode wall time.
+    train_equiv = fast_events / median(train_walls)
+    train_speedup = median(train_walls) and median(fast_walls) / \
+        median(train_walls)
     wheel_share = wheel_events / fast_events if fast_events else 0.0
     record = {
         "benchmark": "1:8 PMSB incast, DWRR(2), 4 ms simulated, cold start",
@@ -182,6 +205,12 @@ def test_engine_ab_speedup_and_bench_json():
             "events_per_second": round(fast),
         },
         "speedup": round(speedup, 3),
+        "train": {
+            "mode": "--trains 16 tier (coalesced ACKs, delack 5 us)",
+            "events_per_run": train_events,
+            "events_per_second": round(train_equiv),
+            "speedup_vs_after": round(train_speedup, 3),
+        },
         "wheel_share": round(wheel_share, 3),
         "pool_hit_rate": round(pool_hit, 3),
     }
@@ -196,17 +225,27 @@ def test_engine_ab_speedup_and_bench_json():
     print(f"after  {fast:,.0f} ev/s | before {slow:,.0f} ev/s | "
           f"speedup {speedup:.2f}x | wheel share {wheel_share:.1%} | "
           f"pool hit rate {pool_hit:.1%}")
+    print(f"trains {train_equiv:,.0f} equivalent ev/s "
+          f"({train_events} events stand in for {fast_events}) | "
+          f"{train_speedup:.2f}x over the per-packet fast path")
 
     # Determinism cross-check: the fast path may only change timing, never
     # the event sequence.
     assert fast_events == slow_events
     assert wheel_share > 0.5          # the wheel tier actually engaged
     assert pool_hit > 0.5             # the pool actually recycled
+    # The train tier must actually coalesce: far fewer events, same traffic.
+    assert train_events < fast_events // 2
 
     gate = float(os.environ.get("REPRO_ENGINE_SPEEDUP_GATE", "1.25"))
     assert speedup >= gate, (
         f"optimized datapath only {speedup:.2f}x faster than the slow path "
         f"(gate {gate}x)")
+
+    train_gate = float(os.environ.get("REPRO_ENGINE_TRAIN_GATE", "1.4"))
+    assert train_speedup >= train_gate, (
+        f"train tier only {train_speedup:.2f}x over the per-packet fast "
+        f"path (gate {train_gate}x)")
 
     if committed is not None:
         factor = float(regression_env)

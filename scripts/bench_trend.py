@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Aggregate the committed BENCH_*.json artifacts into a markdown report.
+
+Each engineering benchmark records its headline numbers in a small JSON
+file at the repo root; this script renders them all as one markdown
+document so a CI job can publish the repo's current performance posture
+in its step summary (and as a downloadable artifact) without anyone
+opening five JSON files.
+
+Usage::
+
+    python scripts/bench_trend.py [--root DIR] [--out FILE]
+
+Scalars are rendered one table per artifact; nested objects contribute
+``parent.child`` rows and lists of objects (``BENCH_shard.json`` points,
+``BENCH_topology.json`` ladder rungs) become their own sub-tables.
+Writes to stdout when ``--out`` is omitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _scalar_rows(record: Dict[str, Any], prefix: str = "") -> List[tuple]:
+    """Flatten scalars and one level of nested objects to (path, value)."""
+    rows = []
+    for key, value in record.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_scalar_rows(value, prefix=f"{path}."))
+        elif not isinstance(value, list):
+            rows.append((path, value))
+    return rows
+
+
+def _table(header: List[str], body: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join(" --- " for _ in header) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in body]
+    return lines
+
+
+def render(root: Path) -> str:
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    lines = ["# Benchmark trend", ""]
+    if not artifacts:
+        lines.append("No BENCH_*.json artifacts found.")
+        return "\n".join(lines) + "\n"
+
+    # Headline table: one row per artifact with its self-described
+    # benchmark and the most load-bearing single number, where present.
+    headline = []
+    for path in artifacts:
+        record = json.loads(path.read_text())
+        key_metric = next(
+            (k for k in ("speedup", "overhead_enabled",
+                         "generator_over_legacy") if k in record), None)
+        if key_metric is None and isinstance(record.get("points"), list):
+            key_metric = "points"
+        shown = (f"{key_metric} = {_fmt(record[key_metric])}"
+                 if key_metric and key_metric != "points"
+                 else f"{len(record.get('points', []))} ladder points")
+        headline.append([path.name,
+                         str(record.get("benchmark", "—")), shown])
+    lines += _table(["artifact", "benchmark", "headline"], headline)
+    lines.append("")
+
+    for path in artifacts:
+        record = json.loads(path.read_text())
+        lines += [f"## {path.name}", ""]
+        scalars = _scalar_rows(record)
+        if scalars:
+            lines += _table(
+                ["metric", "value"],
+                [[key, _fmt(value)] for key, value in scalars])
+            lines.append("")
+        for key, value in record.items():
+            if (isinstance(value, list) and value
+                    and all(isinstance(item, dict) for item in value)):
+                columns = list(value[0])
+                lines += [f"### {key}", ""]
+                lines += _table(
+                    columns,
+                    [[_fmt(item.get(col, "—")) for col in columns]
+                     for item in value])
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory holding BENCH_*.json (repo root)")
+    parser.add_argument("--out", type=Path,
+                        help="write the markdown here instead of stdout")
+    args = parser.parse_args(argv)
+    report = render(args.root)
+    if args.out:
+        args.out.write_text(report)
+        print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

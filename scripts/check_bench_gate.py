@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Gate CI on metrics recorded in a committed/produced BENCH_*.json.
+
+Every benchmark in ``benchmarks/`` writes a small JSON artifact at the
+repo root (``BENCH_engine.json``, ``BENCH_sharedbuf.json``, ...).  The
+benches gate themselves in-process through ``REPRO_*_GATE`` env vars —
+useful locally — but CI used to duplicate one bespoke env-var block per
+job.  This script replaces those blocks: each job runs its bench with
+the in-process gate neutralized and then asserts bounds on the artifact
+it produced (or on a committed artifact, for jobs that only consume the
+nightly one).
+
+Usage::
+
+    python scripts/check_bench_gate.py BENCH_engine.json \\
+        'speedup>=1.1' 'train.speedup_vs_after>=1.5' \\
+        --baseline /tmp/BENCH_engine.json \\
+        --regression-metric after.events_per_second \\
+        --regression-factor 2
+
+Each positional check is ``<dotted.path><op><value>`` with ``op`` one
+of ``>=`` or ``<=``.  Dotted paths descend through objects by key and
+through arrays by integer index (``points.0.speedup_vs_single``;
+negative indices count from the end).  The optional baseline trio
+asserts ``current >= baseline / factor`` for one metric — the
+anti-regression backstop against the previously committed artifact.
+
+Prints one ``PASS``/``FAIL`` line per check and exits 1 if any failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Tuple
+
+Check = Tuple[str, str, float]
+
+
+def resolve(record: Any, dotted: str) -> float:
+    """Walk ``dotted`` through nested dicts/lists and return a number."""
+    node = record
+    walked: List[str] = []
+    for part in dotted.split("."):
+        walked.append(part)
+        where = ".".join(walked)
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError) as exc:
+                raise KeyError(
+                    f"{where}: {exc} (array of {len(node)} entries)"
+                ) from None
+        elif isinstance(node, dict):
+            if part not in node:
+                raise KeyError(
+                    f"{where}: no such key (has {sorted(node)[:8]})")
+            node = node[part]
+        else:
+            raise KeyError(f"{where}: cannot descend into {type(node).__name__}")
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        raise KeyError(f"{dotted}: {node!r} is not a number")
+    return float(node)
+
+
+def parse_check(spec: str) -> Check:
+    for op in (">=", "<="):
+        if op in spec:
+            path, _, value = spec.partition(op)
+            if not path or not value:
+                break
+            return path.strip(), op, float(value)
+    raise argparse.ArgumentTypeError(
+        f"check {spec!r} is not of the form <dotted.path>(>=|<=)<value>")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument("artifact", type=Path,
+                        help="BENCH_*.json file to check")
+    parser.add_argument("checks", nargs="*", type=parse_check, metavar="CHECK",
+                        help="bound of the form dotted.path>=1.5 or <=1.1")
+    parser.add_argument("--baseline", type=Path,
+                        help="previously committed artifact to compare against")
+    parser.add_argument("--regression-metric",
+                        help="dotted path compared between artifact and "
+                             "baseline (required with --baseline)")
+    parser.add_argument("--regression-factor", type=float, default=2.0,
+                        help="fail when current < baseline / FACTOR "
+                             "(default 2)")
+    args = parser.parse_args(argv)
+    if bool(args.baseline) != bool(args.regression_metric):
+        parser.error("--baseline and --regression-metric go together")
+    if not args.checks and not args.baseline:
+        parser.error("nothing to do: give at least one CHECK or --baseline")
+
+    record = json.loads(args.artifact.read_text())
+    failures = 0
+    for path, op, bound in args.checks:
+        try:
+            value = resolve(record, path)
+        except KeyError as exc:
+            print(f"FAIL {args.artifact}: {exc}")
+            failures += 1
+            continue
+        ok = value >= bound if op == ">=" else value <= bound
+        verdict = "PASS" if ok else "FAIL"
+        print(f"{verdict} {args.artifact}: {path} = {value:g} "
+              f"(need {op} {bound:g})")
+        failures += 0 if ok else 1
+
+    if args.baseline:
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            current = resolve(record, args.regression_metric)
+            reference = resolve(baseline, args.regression_metric)
+            floor = reference / args.regression_factor
+            ok = current >= floor
+            verdict = "PASS" if ok else "FAIL"
+            print(f"{verdict} {args.artifact}: {args.regression_metric} = "
+                  f"{current:g} vs committed {reference:g} "
+                  f"(floor {floor:g} at factor {args.regression_factor:g})")
+            failures += 0 if ok else 1
+        else:
+            # First run on a branch that never committed the artifact:
+            # nothing to regress against, and failing would block the
+            # bootstrap commit.
+            print(f"SKIP {args.artifact}: baseline {args.baseline} missing")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

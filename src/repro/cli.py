@@ -167,6 +167,11 @@ def _profile(args):
     return PROFILES[name] if name else None
 
 
+def _trains(args) -> Optional[int]:
+    """Packet-train width from ``--trains``, or None (per-packet)."""
+    return getattr(args, "trains", None)
+
+
 def _duration(args, fallback: float = 0.03) -> float:
     """Simulated seconds for a static experiment.
 
@@ -214,7 +219,8 @@ def cmd_fig2(args) -> Any:
 
 def _victim(args, threshold: float, flows: int) -> Any:
     result = motivation.per_port_victim(threshold, flows,
-                                        duration=_duration(args))
+                                        duration=_duration(args),
+                                        trains=_trains(args))
     print(f"per-port K={threshold:.0f}, 1 flow vs {flows} flows:")
     print(f"  queue 1: {result.queue1_gbps:5.2f} Gbps")
     print(f"  queue 2: {result.queue2_gbps:5.2f} Gbps")
@@ -255,7 +261,8 @@ def cmd_fig5(args) -> Any:
 
 def cmd_fig8(args) -> Any:
     result = static_flows.weighted_fair_sharing("pmsb",
-                                                duration=_duration(args))
+                                                duration=_duration(args),
+                                                trains=_trains(args))
     print(f"PMSB DWRR 1:4 -> q1 {result.queue_gbps[0]:.2f} G, "
           f"q2 {result.queue_gbps[1]:.2f} G")
     return result.queue_gbps
@@ -325,6 +332,7 @@ def cmd_sweep(args) -> Any:
         cache_dir=args.cache_dir,
         force=args.force,
         shards=args.shards,
+        trains=_trains(args),
     )
     rows = largescale.run_fct_sweep(scheduler_name=args.scheduler,
                                     config=config)
@@ -779,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "lookahead shard processes (leaf/pod "
                              "partition, deterministic merge; needs a "
                              "multi-switch fabric — see docs/API.md)")
+    common.add_argument("--trains", type=int, default=None,
+                        help="coalesce long-flow bursts into packet "
+                             "trains of up to N MTU segments (one event "
+                             "per train; tolerance-accurate, ports fall "
+                             "back per-packet near marking thresholds — "
+                             "see EXPERIMENTS.md)")
     for spec_flag in SPEC_FLAGS:
         spec_flag.add_to(common)
 

@@ -198,6 +198,7 @@ def fct_point_spec(
     faults: Sequence[FaultSpec] = (),
     controller: Optional[ControllerSpec] = None,
     shards: int = 1,
+    trains: int = 1,
 ) -> ExperimentSpec:
     """The canonical identity of one §VI-B FCT point (store cache key).
 
@@ -223,6 +224,11 @@ def fct_point_spec(
     # tolerance-equal, not byte-equal); shards=1 keys are untouched.
     if shards and shards > 1:
         params["shards"] = int(shards)
+    # Same contract for packet trains: the train tier is
+    # tolerance-accurate, so trained points must never resume from (or
+    # pollute) exact per-packet records; trains=1 keys are untouched.
+    if trains and trains > 1:
+        params["trains"] = int(trains)
     return ExperimentSpec.create(
         "fct-point", scheme=scheme_name, scheduler=scheduler_name,
         load=load, seed=seed, profile=profile, audit=audit, params=params,
@@ -322,6 +328,16 @@ def run_fct_point(
     profile_events = config.profile_events
     audit = config.audit
     shards = config.shards if config.shards is not None else 1
+    trains = config.trains if config.trains is not None else 1
+    if trains > 1:
+        if shards > 1:
+            raise ValueError("--trains cannot combine with --shards "
+                             "(train units cross shard boundaries as one "
+                             "event)")
+        if faults_enabled(faults):
+            raise ValueError("--trains cannot combine with fault injection "
+                             "(per-link loss draws are per-packet; a train "
+                             "would consume one draw for N packets)")
     if shards > 1:
         from .sharded import sharded_fct_point
         if controller_enabled(controller) is not None:
@@ -384,7 +400,13 @@ def run_fct_point(
     collector = FctCollector(size_scale=size_scale)
     want_rtt = runtime is not None and controller.wants_rtt
     for flow in flows:
-        config = scheme.transport_config(init_cwnd=16.0, record_rtt=want_rtt)
+        config = scheme.transport_config(
+            init_cwnd=16.0, record_rtt=want_rtt, train_packets=trains,
+            # Train mode coalesces ACKs too (delayed-ACK CE state
+            # machine, one ACK per two units, PSH flushes) — see
+            # run_incast.
+            ack_every=2 if trains > 1 else 1,
+            delack_timeout=5e-6 if trains > 1 else 1e-3)
         handle = open_flow(network, flow, config,
                            on_complete=collector.on_complete)
         if want_rtt:
@@ -482,11 +504,13 @@ def _sweep_worker(point) -> FctRow:
     stays consistent at any ``--jobs`` level.
     """
     (scheme_name, scheduler_name, load, profile, seed, profile_events,
-     audit, cache_dir, force, faults, controller, topology, shards) = point
+     audit, cache_dir, force, faults, controller, topology, shards,
+     trains) = point
     store = RunStore(cache_dir) if cache_dir else None
     spec = fct_point_spec(scheme_name, scheduler_name, load, profile, seed,
                           audit=audit, topology=topology, faults=faults,
-                          controller=controller, shards=shards)
+                          controller=controller, shards=shards,
+                          trains=trains)
     if store is not None and not force:
         record = store.get(spec)
         if record is not None:
@@ -496,7 +520,8 @@ def _sweep_worker(point) -> FctRow:
         scheme_name, scheduler_name, load, profile, seed,
         topology=topology,
         config=RunConfig(profile_events=profile_events, audit=audit,
-                         shards=shards if shards > 1 else None),
+                         shards=shards if shards > 1 else None,
+                         trains=trains if trains > 1 else None),
         provenance_out=provenance_out, faults=faults, controller=controller,
     )
     if store is not None:
@@ -570,11 +595,12 @@ def run_fct_sweep(
     controller_spec = controller_enabled(controller)
     topology_spec = resolve_fct_topology(topology)
     shards = config.shards if config.shards is not None else 1
+    trains = config.trains if config.trains is not None else 1
     points = [
         (name, scheduler_name, load, profile, seed,
          config.profile_events, audit_enabled(config.audit),
          cache_dir, force, fault_specs, controller_spec, topology_spec,
-         shards)
+         shards, trains)
         for load in profile.loads
         for name in scheme_names
         if not (scheduler_name == "wfq" and name == "mq-ecn")

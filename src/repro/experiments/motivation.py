@@ -14,7 +14,7 @@ These reproduce the three failure modes that motivate PMSB:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..metrics.stats import SummaryStats, summarize
 from ..store.spec import RunConfig
@@ -117,13 +117,15 @@ def per_port_victim(
     flows_queue2: int = 8,
     link_rate: float = 10e9,
     duration: float = 0.04,
+    trains: Optional[int] = None,
 ) -> VictimResult:
     """Figs. 3/6/7: 1 flow vs N flows under per-port marking.
 
     Two equal-weight queues; queue 1 has one flow, queue 2 has
     ``flows_queue2``.  With DWRR both should get 5 Gbps; per-port marking
     starves queue 1 when the port threshold is small relative to the flow
-    count.
+    count.  ``trains`` enables the tolerance-accurate packet-train tier
+    (the CLI's ``--trains``).
     """
     scheme = make_scheme(
         "per-port", link_rate=link_rate,
@@ -132,7 +134,7 @@ def per_port_victim(
     result = run_incast(
         scheme, lambda: DwrrScheduler(2),
         incast_flows([1, flows_queue2]), link_rate=link_rate,
-        config=RunConfig(duration=duration),
+        config=RunConfig(duration=duration, trains=trains),
     )
     return VictimResult(
         port_threshold=port_threshold,

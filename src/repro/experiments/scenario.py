@@ -226,7 +226,10 @@ def run_incast(
     simulated time (default 0.04 s) and ``config.audit`` attaches a
     :class:`~repro.sim.audit.FabricAuditor` to the whole fabric and runs
     a final conservation pass (None defers to the process default the
-    CLI's ``--audit`` flag sets).  The ``duration=`` / ``audit=``
+    CLI's ``--audit`` flag sets).  ``config.trains`` (the CLI's
+    ``--trains``) coalesces long-flow bursts into packet-train units —
+    the tolerance-accurate fast tier; it is rejected in combination
+    with ``shards`` or fault injection.  The ``duration=`` / ``audit=``
     keyword spellings are deprecated aliases for those fields.
     ``faults`` injects a deterministic chaos layer
     (:mod:`repro.sim.faults`) over the fabric, with RNG streams derived
@@ -250,6 +253,16 @@ def run_incast(
     duration = config.duration if config.duration is not None else 0.04
     audit = config.audit
     shards = config.shards if config.shards is not None else 1
+    trains = config.trains if config.trains is not None else 1
+    if trains > 1:
+        if shards > 1:
+            raise ValueError("--trains cannot combine with --shards "
+                             "(train units cross shard boundaries as one "
+                             "event)")
+        if faults_enabled(faults):
+            raise ValueError("--trains cannot combine with fault injection "
+                             "(per-link loss draws are per-packet; a train "
+                             "would consume one draw for N packets)")
     if shards > 1:
         from .sharded import sharded_incast_run
         if trace_occupancy:
@@ -325,7 +338,15 @@ def run_incast(
     for flow in flows:
         rate = None if rate_limits is None else rate_limits.get(flow.src)
         config = scheme.transport_config(
-            record_rtt=record_rtt, rate_limit_bps=rate, init_cwnd=init_cwnd
+            record_rtt=record_rtt, rate_limit_bps=rate, init_cwnd=init_cwnd,
+            train_packets=trains,
+            # Train mode coalesces ACKs too (DCTCP delayed-ACK CE
+            # state machine, one ACK per two data units): one event per
+            # data train would be undone by per-unit ACK traffic on the
+            # way back.  PSH flushes (window-filling / flow-final
+            # units) keep window-limited flows off the delack timer.
+            ack_every=2 if trains > 1 else 1,
+            delack_timeout=5e-6 if trains > 1 else 1e-3,
         )
         handles.append(open_flow(network, flow, config))
     if runtime is not None:

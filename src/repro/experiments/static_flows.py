@@ -41,6 +41,7 @@ def weighted_fair_sharing(
     duration: float = 0.04,
     warmup_fraction: float = 1.0 / 3.0,
     stagger: float = 0.0,
+    trains: Optional[int] = None,
 ) -> IncastResult:
     """Figs. 8/10: DWRR, two equal queues, 1 flow vs N flows.
 
@@ -48,7 +49,8 @@ def weighted_fair_sharing(
     (the paper shows 1:4 and 1:100).  ``stagger`` spreads queue-2 flow
     starts over that many seconds — at 1:100, a perfectly synchronized
     100×16-packet initial burst is an incast artifact, not the paper's
-    long-lived steady state.
+    long-lived steady state.  ``trains`` enables the tolerance-accurate
+    packet-train tier (the CLI's ``--trains``).
     """
     scheme = make_scheme(
         scheme_name, link_rate=link_rate, n_queues=2,
@@ -61,7 +63,7 @@ def weighted_fair_sharing(
     return run_incast(
         scheme, lambda: DwrrScheduler(2), flows,
         warmup_fraction=warmup_fraction, link_rate=link_rate,
-        config=RunConfig(duration=duration),
+        config=RunConfig(duration=duration, trains=trains),
     )
 
 

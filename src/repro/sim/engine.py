@@ -207,9 +207,11 @@ class Simulator:
         "_now_bucket", "_wheel_count", "_wheel_cancelled",
         "_wheel_scheduled", "_heap_scheduled",
         "_wheel_processed", "_heap_processed", "barrier_hook",
+        "_batch", "_slot_batches", "_batched_events",
     )
 
-    def __init__(self, slow_path: Optional[bool] = None) -> None:
+    def __init__(self, slow_path: Optional[bool] = None,
+                 batch_slots: Optional[bool] = None) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
         self._seq = 0
@@ -219,6 +221,16 @@ class Simulator:
         self._compactions = 0
         self._freelist: list[Event] = []
         self._slow = slow_path_default() if slow_path is None else bool(slow_path)
+        # Whole-bucket batch drain (fast path only).  When disabled every
+        # wheel event goes through the exact single-event merge path —
+        # identical firing order, different mechanism — which gives
+        # differential tests a real toggle (``REPRO_NO_SLOT_BATCH=1`` or
+        # ``Simulator(batch_slots=False)``).
+        if batch_slots is None:
+            batch_slots = not _env_flag("REPRO_NO_SLOT_BATCH")
+        self._batch = (not self._slow) and bool(batch_slots)
+        self._slot_batches = 0
+        self._batched_events = 0
         # Timing wheel state (fast path only).  Buckets hold
         # (time, seq, event) tuples; ``_cursor`` is the absolute index of
         # the bucket currently being drained (``_active``, consumed up to
@@ -257,6 +269,21 @@ class Simulator:
     def slow_path(self) -> bool:
         """True when the timing-wheel tier is disabled."""
         return self._slow
+
+    @property
+    def batch_slots(self) -> bool:
+        """True when the whole-bucket batch drain is enabled."""
+        return self._batch
+
+    @property
+    def slot_batches(self) -> int:
+        """Number of whole-bucket batch drains executed so far."""
+        return self._slot_batches
+
+    @property
+    def batched_events(self) -> int:
+        """Events executed inside whole-bucket batch drains."""
+        return self._batched_events
 
     @property
     def events_processed(self) -> int:
@@ -626,6 +653,7 @@ class Simulator:
         getrefcount = sys.getrefcount
         until_f = _INF if until is None else until
         budget = _INF if max_events is None else max_events
+        batch = self._batch
         executed = 0
         while True:
             cursor = self._cursor
@@ -705,7 +733,7 @@ class Simulator:
                 break
             if wheel_time is None and heap_event is None:
                 break
-            if wheel_time is not None and (
+            if batch and wheel_time is not None and (
                 heap_event is None
                 or heap_event.time >= (cursor + 1) * _WHEEL_TICK
             ):
@@ -716,6 +744,10 @@ class Simulator:
                 done = 0
                 drained = 0
                 stop = False
+                # Same-timestamp runs are the common case inside a bucket
+                # (a burst enqueued back-to-back shares one clock value),
+                # so the clock write is skipped while the time repeats.
+                last_time = self._now
                 while pos < len(active):
                     entry = active[pos]
                     if len(entry) == 4:
@@ -727,7 +759,9 @@ class Simulator:
                         active[pos] = None
                         pos += 1
                         drained += 1
-                        self._now = event_time
+                        if event_time != last_time:
+                            self._now = event_time
+                            last_time = event_time
                         self._active_pos = pos
                         entry[2](*entry[3])
                         entry = None
@@ -761,7 +795,9 @@ class Simulator:
                     pos += 1
                     drained += 1
                     event.in_wheel = False
-                    self._now = event_time
+                    if event_time != last_time:
+                        self._now = event_time
+                        last_time = event_time
                     self._active_pos = pos
                     event.callback(*event.args)
                     done += 1
@@ -780,13 +816,17 @@ class Simulator:
                 self._wheel_count -= drained
                 self._events_processed += done
                 self._wheel_processed += done
+                if done:
+                    self._slot_batches += 1
+                    self._batched_events += done
                 executed += done
                 if self._active is active:
                     self._active_pos = pos
                 if stop:
                     break
             elif wheel_time is not None and (
-                wheel_time < heap_event.time
+                heap_event is None
+                or wheel_time < heap_event.time
                 or (wheel_time == heap_event.time and wheel_seq < heap_event.seq)
             ):
                 # -- single wheel event: a pre-existing heap entry is due

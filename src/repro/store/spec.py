@@ -82,6 +82,12 @@ class RunConfig:
     #: Shards for conservative-lookahead parallel execution of a single
     #: scenario (None / 1 = classic single-process run).
     shards: Optional[int] = None
+    #: Packet-train width for long-flow senders (None / 1 = exact
+    #: per-packet datapath).  N > 1 coalesces window-limited bursts into
+    #: single train units — one event per train — with automatic
+    #: per-packet fallback near marking thresholds; results are
+    #: tolerance-accurate, not byte-identical (see EXPERIMENTS.md).
+    trains: Optional[int] = None
 
     def evolve(self, **changes: Any) -> "RunConfig":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""

@@ -108,8 +108,9 @@ class TimelySender(DctcpSender):
 
     # -- ECN is ignored ------------------------------------------------------
 
-    def _account_alpha_window(self, accepted_mark: bool) -> bool:
+    def _account_alpha_window(self, accepted_mark: bool,
+                              weight: int = 1) -> bool:
         # TIMELY does not react to marks; keep the window at its cap and
         # let the pacing rate do all the work.
-        self._acks_in_window += 1
+        self._acks_in_window += weight
         return False

@@ -1,0 +1,187 @@
+"""Property tests for the markers' closed-form train splits.
+
+``Marker.train_split`` must reproduce, in closed form, exactly what the
+per-packet tier would do for a back-to-back burst: segment ``i``
+(1-based) of a train enqueued onto a port holding ``base`` packets sees
+occupancy ``base + i``.  Each test brute-forces the per-packet decisions
+through a real port and compares against the closed form over a grid of
+bases, thresholds and train widths.
+"""
+
+import math
+
+import pytest
+
+from repro.core.pmsb import PmsbMarker
+from repro.ecn.base import MarkPoint, NullMarker
+from repro.ecn.per_port import PerPortMarker
+from repro.ecn.per_queue import PerQueueMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.sim.engine import Simulator
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(marker, n_queues=2):
+    sim = Simulator()
+    link = Link(sim, 10e9, 1e-6, Sink())
+    port = Port(sim, link, DwrrScheduler(n_queues), marker=marker,
+                name="test")
+    return sim, port
+
+
+def fill(port, queue_index, count):
+    """Pre-load ``count`` packets into one queue without marking."""
+    for i in range(count):
+        packet = make_data(0, 0, 1, i, 1500, queue_index, ect=False)
+        port.enqueue(packet, queue_index)
+
+
+def brute_force_unmarked(marker, port, queue_index, n):
+    """Per-packet reference: longest unmarked prefix of an n-burst.
+
+    Replays the marker's ``decide`` against live occupancy while
+    enqueueing ``n`` ECT segments one at a time, exactly as the
+    per-packet datapath would.
+    """
+    decisions = []
+    for i in range(n):
+        packet = make_data(9, 0, 1, 1000 + i, 1500, queue_index, ect=True)
+        port.enqueue(packet, queue_index)
+        decisions.append(packet.ce)
+    # The prefix property: once marking starts it never stops within
+    # the burst (monotone occupancy).  Assert it so the closed form is
+    # compared against a shape it can actually express.
+    first_marked = next((i for i, ce in enumerate(decisions) if ce), n)
+    assert all(decisions[i] for i in range(first_marked, n)), decisions
+    return first_marked
+
+
+class TestPerPortTrainSplit:
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, 4.0, 7.5, 16.0, 40.0])
+    @pytest.mark.parametrize("base", [0, 1, 3, 8, 15, 16, 17, 50])
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    def test_matches_brute_force(self, threshold, base, n):
+        _, ref_port = make_port(PerPortMarker(threshold))
+        fill(ref_port, 0, base)
+        expected = brute_force_unmarked(ref_port.marker, ref_port, 0, n)
+
+        marker = PerPortMarker(threshold)
+        _, port = make_port(marker)
+        fill(port, 0, base)
+        packet = make_data(9, 0, 1, 0, 1500 * n, 0, ect=True)
+        packet.train = n
+        unmarked = marker.train_split(port, 0, packet, base, base)
+        assert unmarked is not None
+        assert min(unmarked, n) == expected
+
+    def test_accounting_matches_per_packet(self):
+        marker = PerPortMarker(4.0)
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 8, 0, ect=True)
+        packet.train = 8
+        unmarked = marker.train_split(port, 0, packet, 0, 0)
+        assert unmarked == 3
+        assert marker.packets_seen == 8
+        assert marker.packets_marked == 5
+
+    def test_non_ect_train_never_marks(self):
+        marker = PerPortMarker(1.0)
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 8, 0, ect=False)
+        packet.train = 8
+        assert marker.train_split(port, 0, packet, 100, 100) == 8
+        assert marker.packets_marked == 0
+
+    def test_dequeue_point_has_no_closed_form(self):
+        marker = PerPortMarker(4.0, mark_point=MarkPoint.DEQUEUE)
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 4, 0, ect=True)
+        packet.train = 4
+        assert marker.train_split(port, 0, packet, 0, 0) is None
+
+
+class TestPerQueueTrainSplit:
+    @pytest.mark.parametrize("threshold", [0.0, 2.0, 6.5, 16.0])
+    @pytest.mark.parametrize("base", [0, 1, 5, 16, 30])
+    @pytest.mark.parametrize("n", [1, 3, 16])
+    def test_matches_brute_force(self, threshold, base, n):
+        _, ref_port = make_port(PerQueueMarker(threshold))
+        fill(ref_port, 1, base)
+        expected = brute_force_unmarked(ref_port.marker, ref_port, 1, n)
+
+        marker = PerQueueMarker(threshold)
+        _, port = make_port(marker)
+        fill(port, 1, base)
+        packet = make_data(9, 0, 1, 0, 1500 * n, 1, ect=True)
+        packet.train = n
+        unmarked = marker.train_split(port, 1, packet, base, base)
+        assert unmarked is not None
+        assert min(unmarked, n) == expected
+
+    def test_vector_thresholds_use_own_queue(self):
+        marker = PerQueueMarker([100.0, 2.0])
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 6, 1, ect=True)
+        packet.train = 6
+        # Queue 1's threshold is 2: segment 1 sees occupancy 1 (below),
+        # segment 2 sees 2 (marked) — unmarked prefix of 1.
+        assert marker.train_split(port, 1, packet, 0, 0) == 1
+
+
+class TestPmsbTrainSplit:
+    @pytest.mark.parametrize("port_threshold", [1.0, 8.0, 12.0, 16.0])
+    @pytest.mark.parametrize("base_other", [0, 4, 10, 20])
+    @pytest.mark.parametrize("base_own", [0, 2, 9])
+    @pytest.mark.parametrize("n", [1, 4, 16])
+    def test_matches_brute_force(self, port_threshold, base_other,
+                                 base_own, n):
+        # Pre-load base_other packets into queue 0 and base_own into
+        # queue 1, then burst n into queue 1: segment i sees port
+        # occupancy (base_other + base_own) + i and queue occupancy
+        # base_own + i.
+        _, ref_port = make_port(PmsbMarker(port_threshold))
+        fill(ref_port, 0, base_other)
+        fill(ref_port, 1, base_own)
+        ref_marker = ref_port.marker
+        victims_before = ref_marker.victims_protected
+        expected = brute_force_unmarked(ref_marker, ref_port, 1, n)
+        expected_victims = ref_marker.victims_protected - victims_before
+
+        marker = PmsbMarker(port_threshold)
+        _, port = make_port(marker)
+        fill(port, 0, base_other)
+        fill(port, 1, base_own)
+        packet = make_data(9, 0, 1, 0, 1500 * n, 1, ect=True)
+        packet.train = n
+        base_port = base_other + base_own
+        unmarked = marker.train_split(port, 1, packet, base_port, base_own)
+        assert unmarked is not None
+        assert min(unmarked, n) == expected
+        assert marker.victims_protected == expected_victims
+        assert marker.packets_seen == n
+        assert marker.packets_marked == n - min(unmarked, n)
+
+    def test_ewma_variant_has_no_closed_form(self):
+        marker = PmsbMarker(12.0, average_weight=0.5)
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 4, 0, ect=True)
+        packet.train = 4
+        assert marker.train_split(port, 0, packet, 0, 0) is None
+
+
+class TestNullMarkerTrainSplit:
+    def test_whole_train_passes(self):
+        marker = NullMarker()
+        _, port = make_port(marker)
+        packet = make_data(9, 0, 1, 0, 1500 * 16, 0, ect=True)
+        packet.train = 16
+        assert marker.train_split(port, 0, packet, 0, 0) == 16

@@ -1,0 +1,125 @@
+"""Differential for the packet-train tier: exact at width 1, bounded above.
+
+The train tier is *tolerance-accurate*, not exact: coalescing N segments
+into one event changes ACK clocking microstructure, so results drift
+within a documented envelope (see ``EXPERIMENTS.md``).  Two contracts
+are enforced here:
+
+- ``--trains 1`` (and an unset flag) must take the exact per-packet code
+  path — CLI JSON exports are byte-identical;
+- ``--trains 16`` must stay inside the documented tolerance bands on the
+  fig3 / fig8 exports and the TINY FCT point, while conserving the
+  aggregate (total throughput, completed-flow count).
+
+The exact per-packet tier itself is covered by the REPRO_SLOW_PATH
+differential in ``test_slow_path_differential.py``, which now also
+exercises the batched slot drain on the fast side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.largescale import run_fct_point
+from repro.experiments.scale import TINY
+from repro.store.spec import RunConfig
+
+pytestmark = pytest.mark.slow
+
+# Documented tolerance bands for --trains 16 (EXPERIMENTS.md).  The
+# fig3 victim rate is a small value (~15% of link rate), so its relative
+# band is the loosest; fig8's near-equal split is the tightest.
+# Measured drift with the final tier configuration (chunk divisor 4,
+# ack_every=2, 5 µs delack): fig8 per-queue ±7.4%, fig3 victim −16%,
+# TINY FCT mean +26%; each band leaves margin over the measurement.
+FIG8_QUEUE_REL = 0.12
+FIG3_VICTIM_REL = 0.25
+FIG3_TOTAL_REL = 0.02
+FCT_MEAN_REL = 0.35
+
+
+def _export(tmp_path, name: str, argv) -> bytes:
+    path = tmp_path / name
+    assert main(argv + ["--json", str(path)]) == 0
+    return path.read_bytes()
+
+
+class TestTrainWidthOneIsExact:
+    """``--trains 1`` must be byte-identical to the unset flag."""
+
+    def test_fig3(self, tmp_path):
+        base = _export(tmp_path, "base.json", ["fig3", "--duration", "0.006"])
+        one = _export(tmp_path, "one.json",
+                      ["fig3", "--duration", "0.006", "--trains", "1"])
+        assert base == one
+
+    def test_fig8(self, tmp_path):
+        base = _export(tmp_path, "base.json", ["fig8", "--duration", "0.006"])
+        one = _export(tmp_path, "one.json",
+                      ["fig8", "--duration", "0.006", "--trains", "1"])
+        assert base == one
+
+    def test_fct_point(self):
+        base = run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3)
+        one = run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3,
+                            config=RunConfig(trains=1))
+        assert dataclasses.asdict(base) == dataclasses.asdict(one)
+
+
+class TestTrainToleranceEnvelope:
+    """``--trains 16`` stays inside the documented bands."""
+
+    def test_fig3_victim_within_band(self, tmp_path):
+        base = json.loads(_export(
+            tmp_path, "base.json", ["fig3", "--duration", "0.006"]))
+        trained = json.loads(_export(
+            tmp_path, "tr.json",
+            ["fig3", "--duration", "0.006", "--trains", "16"]))
+        assert trained["queue1_gbps"] == pytest.approx(
+            base["queue1_gbps"], rel=FIG3_VICTIM_REL)
+        # The aggregate must be conserved almost exactly: trains shift
+        # scheduling microstructure, not the amount of work done.
+        total_base = base["queue1_gbps"] + base["queue2_gbps"]
+        total_trained = trained["queue1_gbps"] + trained["queue2_gbps"]
+        assert total_trained == pytest.approx(total_base, rel=FIG3_TOTAL_REL)
+
+    def test_fig8_queue_rates_within_band(self, tmp_path):
+        base = json.loads(_export(
+            tmp_path, "base.json", ["fig8", "--duration", "0.006"]))
+        trained = json.loads(_export(
+            tmp_path, "tr.json",
+            ["fig8", "--duration", "0.006", "--trains", "16"]))
+        assert set(trained) == set(base)
+        for queue, rate in base.items():
+            assert trained[queue] == pytest.approx(
+                rate, rel=FIG8_QUEUE_REL), queue
+
+    def test_fct_point_within_band(self):
+        base = run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3)
+        trained = run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3,
+                                config=RunConfig(trains=16))
+        assert trained.n_flows == base.n_flows
+        assert trained.completed == base.completed
+        assert trained.overall.count == base.overall.count
+        assert trained.overall.mean == pytest.approx(
+            base.overall.mean, rel=FCT_MEAN_REL)
+
+
+class TestTrainGuardRails:
+    """Combinations the tier cannot model faithfully are rejected."""
+
+    def test_trains_reject_shards(self):
+        with pytest.raises(ValueError, match="shard"):
+            run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3,
+                          config=RunConfig(trains=16, shards=2))
+
+    def test_trains_reject_faults(self):
+        from repro.experiments.chaos import chaos_faults
+        with pytest.raises(ValueError, match="per-packet"):
+            run_fct_point("pmsb", "dwrr", 0.5, TINY, seed=3,
+                          faults=chaos_faults("iid-loss", 1e-3),
+                          config=RunConfig(trains=16))

@@ -1,0 +1,129 @@
+"""PortArrays: the numpy struct-of-arrays mirror of port state."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pmsb import PmsbMarker
+from repro.ecn.base import NullMarker
+from repro.ecn.per_port import PerPortMarker
+from repro.ecn.per_queue import PerQueueMarker
+from repro.net.link import Link
+from repro.net.packet import make_data
+from repro.net.port import Port
+from repro.net.soa import PortArrays, marker_port_threshold, occupancy_integral
+from repro.scheduling.dwrr import DwrrScheduler
+from repro.sim.engine import Simulator
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet):
+        pass
+
+
+def make_port(sim, marker, buffer_packets=None):
+    link = Link(sim, 10e9, 1e-6, Sink())
+    return Port(sim, link, DwrrScheduler(2), marker=marker,
+                buffer_packets=buffer_packets)
+
+
+class TestMarkerPortThreshold:
+    def test_per_port(self):
+        sim = Simulator()
+        port = make_port(sim, PerPortMarker(16.0))
+        assert marker_port_threshold(port) == 16.0
+
+    def test_pmsb(self):
+        sim = Simulator()
+        port = make_port(sim, PmsbMarker(12.0))
+        assert marker_port_threshold(port) == 12.0
+
+    def test_per_queue_takes_minimum(self):
+        sim = Simulator()
+        port = make_port(sim, PerQueueMarker([8.0, 4.0]))
+        assert marker_port_threshold(port) == 4.0
+
+    def test_null_marker_is_nan(self):
+        sim = Simulator()
+        port = make_port(sim, NullMarker())
+        assert math.isnan(marker_port_threshold(port))
+
+
+class TestOccupancyIntegral:
+    def test_matches_per_packet_sum(self):
+        for base in (0, 3, 17):
+            for n in (0, 1, 5, 16):
+                expected = sum(base + i for i in range(1, n + 1))
+                assert occupancy_integral(base, n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            occupancy_integral(0, -1)
+
+
+class TestPortArrays:
+    def test_register_and_sync(self):
+        sim = Simulator()
+        marked = make_port(sim, PmsbMarker(12.0), buffer_packets=100)
+        nic = make_port(sim, NullMarker())
+        arrays = PortArrays()
+        assert arrays.register(marked) == 0
+        assert arrays.register(nic) == 1
+        assert len(arrays) == 2
+        assert arrays.ports == [marked, nic]
+
+        for i in range(5):
+            marked.enqueue(make_data(1, 0, 9, i, 1500, 0), 0)
+        arrays.sync()
+        # The in-service packet still occupies the buffer
+        # (store-and-forward), so all five count.
+        assert arrays.occupancy[0] == 5
+        assert arrays.bytes[0] == 5 * 1500
+        assert arrays.occupancy[1] == 0
+        assert arrays.threshold[0] == 12.0
+        assert math.isnan(arrays.threshold[1])
+        assert arrays.capacity[0] == 100.0
+        assert arrays.capacity[1] == math.inf
+
+    def test_guard_band_and_headroom(self):
+        sim = Simulator()
+        ports = [make_port(sim, PerPortMarker(10.0), buffer_packets=20)
+                 for _ in range(3)]
+        arrays = PortArrays()
+        for port in ports:
+            arrays.register(port)
+        for i in range(8):
+            ports[0].enqueue(make_data(1, 0, 9, i, 1500, 0), 0)
+        for i in range(2):
+            ports[1].enqueue(make_data(2, 0, 9, i, 1500, 0), 0)
+        arrays.sync()
+        np.testing.assert_array_equal(
+            arrays.guard_band_mask(guard=4.0), [True, False, False])
+        np.testing.assert_array_equal(arrays.headroom(), [12.0, 18.0, 20.0])
+        np.testing.assert_array_equal(
+            arrays.marking_headroom(), [2.0, 8.0, 10.0])
+
+    def test_sync_picks_up_retuned_thresholds(self):
+        sim = Simulator()
+        marker = PerPortMarker(10.0)
+        port = make_port(sim, marker)
+        arrays = PortArrays()
+        arrays.register(port)
+        marker.set_thresholds(threshold_packets=20.0)
+        # Staged changes commit at the next packet boundary.
+        port.enqueue(make_data(1, 0, 9, 0, 1500, 0), 0)
+        arrays.sync()
+        assert arrays.threshold[0] == 20.0
+
+    def test_null_marker_never_in_guard_band(self):
+        sim = Simulator()
+        port = make_port(sim, NullMarker())
+        arrays = PortArrays()
+        arrays.register(port)
+        for i in range(50):
+            port.enqueue(make_data(1, 0, 9, i, 1500, 0), 0)
+        arrays.sync()
+        assert not arrays.guard_band_mask(guard=1000.0).any()

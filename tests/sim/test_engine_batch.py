@@ -1,0 +1,114 @@
+"""Batched slot execution: semantics identical with the drain on or off.
+
+The fast path's whole-bucket drain is a mechanism, not a semantic: with
+``batch_slots=False`` (or ``REPRO_NO_SLOT_BATCH=1``) every wheel event
+goes through the exact single-event merge path instead.  Firing order,
+clocks and results must be indistinguishable.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def record_run(sim, horizon=0.002):
+    """Schedule a deterministic mixed workload; return the firing log."""
+    log = []
+
+    def fire(tag):
+        log.append((round(sim.now, 12), tag))
+
+    def chain(tag, depth, delay):
+        log.append((round(sim.now, 12), tag))
+        if depth > 0:
+            sim.schedule(delay, chain, f"{tag}+", depth - 1, delay)
+
+    # Same-timestamp clusters (the batch case), short chains (reentrant
+    # scheduling inside a bucket), scattered singles, and a long-horizon
+    # heap timer that lands mid-bucket.
+    for i in range(50):
+        t = (i % 7) * 1e-6
+        sim.at(t, fire, f"cluster{i}")
+    sim.at(3e-6, chain, "chain", 5, 0.4e-6)
+    sim.at(1.5e-3, fire, "late")          # heap tier (beyond the wheel?)
+    sim.schedule(0.9e-6, chain, "c2", 3, 2e-6)
+    cancelled = sim.at(2e-6, fire, "never")
+    cancelled.cancel()
+    sim.run(until=horizon)
+    return log
+
+
+class TestBatchToggle:
+    def test_default_is_batched(self):
+        assert Simulator().batch_slots is True
+
+    def test_ctor_override(self):
+        assert Simulator(batch_slots=False).batch_slots is False
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SLOT_BATCH", "1")
+        assert Simulator().batch_slots is False
+        # The explicit ctor argument wins over the environment.
+        assert Simulator(batch_slots=True).batch_slots is True
+
+    def test_slow_path_never_batches(self):
+        assert Simulator(slow_path=True).batch_slots is False
+
+
+class TestBatchSemantics:
+    def test_identical_firing_order(self):
+        batched = record_run(Simulator(batch_slots=True))
+        single = record_run(Simulator(batch_slots=False))
+        slow = record_run(Simulator(slow_path=True))
+        assert batched == single == slow
+        assert len(batched) > 50
+
+    def test_identical_engine_totals(self):
+        sims = [Simulator(batch_slots=True), Simulator(batch_slots=False)]
+        for sim in sims:
+            record_run(sim)
+        assert sims[0].events_processed == sims[1].events_processed
+        assert sims[0].now == sims[1].now
+
+    def test_batch_counters(self):
+        batched = Simulator(batch_slots=True)
+        record_run(batched)
+        assert batched.slot_batches > 0
+        assert batched.batched_events > 0
+        assert batched.batched_events <= batched.wheel_events_processed
+
+        single = Simulator(batch_slots=False)
+        record_run(single)
+        assert single.slot_batches == 0
+        assert single.batched_events == 0
+        # The events still fire — just through the merge path.
+        assert single.wheel_events_processed == batched.wheel_events_processed
+
+    def test_unbatched_handles_empty_heap(self):
+        # With the drain disabled, wheel events must still fire when the
+        # heap is completely empty (the merge branch cannot compare
+        # against a heap top that does not exist).
+        sim = Simulator(batch_slots=False)
+        log = []
+        for i in range(10):
+            sim.at(i * 1e-7, lambda i=i: log.append(i))
+        sim.run()
+        assert log == list(range(10))
+
+    def test_max_events_budget_respected(self):
+        for batch in (True, False):
+            sim = Simulator(batch_slots=batch)
+            for i in range(20):
+                sim.at(1e-6, lambda: None)
+            assert sim.run(max_events=7) == 7
+            assert sim.events_processed == 7
+
+    def test_step_single_event(self):
+        sim = Simulator(batch_slots=True)
+        fired = []
+        sim.at(1e-6, lambda: fired.append(1))
+        sim.at(1e-6, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
